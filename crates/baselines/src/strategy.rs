@@ -1,0 +1,200 @@
+//! Real-world coupon strategies (Sec. III "Special cases", Sec. VI-A).
+//!
+//! IM and PM select only seeds; to compete in the SC setting they are paired
+//! with one of the two strategies practiced by real platforms. Both allocate
+//! coupons to every user the spread could reach (activated users forward
+//! coupons), which is exactly the node set reachable from the seeds.
+
+use osn_graph::{CsrGraph, NodeId};
+use osn_graph::traversal::reachable_set;
+
+/// How a seed-only algorithm allocates coupons.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CouponStrategy {
+    /// `K_i = |N(v_i)|` for every reachable user — Uber, Lyft, Hotels.com.
+    Unlimited,
+    /// `K_i = k` for every reachable user — Dropbox (k = 32), Airbnb,
+    /// Booking.com.
+    Limited(u32),
+}
+
+impl CouponStrategy {
+    /// Dropbox's 16 GB / 500 MB = 32-coupon cap, the paper's default for
+    /// the limited strategy.
+    pub const DROPBOX: CouponStrategy = CouponStrategy::Limited(32);
+
+    /// Short label used in experiment tables ("U" / "L").
+    pub fn suffix(self) -> &'static str {
+        match self {
+            CouponStrategy::Unlimited => "U",
+            CouponStrategy::Limited(_) => "L",
+        }
+    }
+
+    /// The coupon vector this strategy induces for seed set `seeds`: every
+    /// node reachable from the seeds receives `k` (capped by out-degree),
+    /// everyone else 0. **Ignores the budget** — use
+    /// [`coupons_for_budgeted`](Self::coupons_for_budgeted) when a `Binv`
+    /// constraint applies.
+    pub fn coupons_for(self, graph: &CsrGraph, seeds: &[NodeId]) -> Vec<u32> {
+        let mut coupons = vec![0u32; graph.node_count()];
+        for v in reachable_set(graph, seeds) {
+            let deg = graph.out_degree(v) as u32;
+            coupons[v.index()] = match self {
+                CouponStrategy::Unlimited => deg,
+                CouponStrategy::Limited(k) => k.min(deg),
+            };
+        }
+        coupons
+    }
+
+    /// Budget-constrained strategy allocation: walk the potential spread in
+    /// BFS order from the seeds, funding each user's strategy allotment
+    /// while the expected SC cost fits `binv − Cseed`, and stop once the
+    /// budget runs out. This is how the paper's baselines spend "total cost
+    /// approximately equals Binv in all settings" — an unbudgeted unlimited
+    /// allocation over a giant component would be infeasible for even one
+    /// seed.
+    pub fn coupons_for_budgeted(
+        self,
+        graph: &CsrGraph,
+        data: &osn_graph::NodeData,
+        seeds: &[NodeId],
+        binv: f64,
+    ) -> Vec<u32> {
+        use osn_propagation::rank::redemption_probs;
+        use osn_propagation::spread::{edge_eligible, spread_levels};
+
+        let n = graph.node_count();
+        let mut coupons = vec![0u32; n];
+        let seed_cost: f64 = seeds.iter().map(|&s| data.seed_cost(s)).sum();
+        let mut remaining = binv - seed_cost;
+        if remaining <= 0.0 {
+            return coupons;
+        }
+        let full = self.coupons_for(graph, seeds);
+        let (levels, order) = spread_levels(graph, seeds, &full);
+        let mut seed_mask = vec![false; n];
+        for &s in seeds {
+            seed_mask[s.index()] = true;
+        }
+        let mut probs: Vec<f64> = Vec::new();
+        let mut costs: Vec<f64> = Vec::new();
+        for &v in &order {
+            let k = full[v.index()];
+            if k == 0 {
+                continue;
+            }
+            probs.clear();
+            costs.clear();
+            let lv = levels[v.index()];
+            for (t, p) in graph.ranked_out(v) {
+                if edge_eligible(&seed_mask, lv, levels[t.index()], t) {
+                    probs.push(p);
+                    costs.push(data.sc_cost(t));
+                }
+            }
+            let q = redemption_probs(&probs, k);
+            let local: f64 = q.iter().zip(costs.iter()).map(|(a, b)| a * b).sum();
+            if local <= remaining {
+                coupons[v.index()] = k;
+                remaining -= local;
+            } else {
+                break; // the budget ran out at this point of the spread
+            }
+        }
+        // The per-node local costs were computed against the *full*
+        // allocation's spread levels; trim until the exact cost fits.
+        while osn_propagation::expected_sc_cost(graph, data, seeds, &coupons) + seed_cost
+            > binv * (1.0 + 1e-9)
+        {
+            let Some(last) = order
+                .iter()
+                .rev()
+                .find(|v| coupons[v.index()] > 0)
+            else {
+                break;
+            };
+            coupons[last.index()] = 0;
+        }
+        coupons
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_graph::GraphBuilder;
+
+    fn graph() -> CsrGraph {
+        // 0 -> 1 -> {2, 3, 4}; 5 isolated.
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(0, 1, 0.5).unwrap();
+        b.add_edge(1, 2, 0.5).unwrap();
+        b.add_edge(1, 3, 0.5).unwrap();
+        b.add_edge(1, 4, 0.5).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn unlimited_assigns_out_degree_to_reachable() {
+        let g = graph();
+        let k = CouponStrategy::Unlimited.coupons_for(&g, &[NodeId(0)]);
+        assert_eq!(k, vec![1, 3, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn limited_caps_at_k_and_degree() {
+        let g = graph();
+        let k = CouponStrategy::Limited(2).coupons_for(&g, &[NodeId(0)]);
+        assert_eq!(k, vec![1, 2, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn unreachable_nodes_get_nothing() {
+        let g = graph();
+        let k = CouponStrategy::DROPBOX.coupons_for(&g, &[NodeId(1)]);
+        assert_eq!(k[0], 0, "node 0 is upstream of the seed");
+        assert_eq!(k[5], 0, "node 5 is isolated");
+        assert_eq!(k[1], 3);
+    }
+
+    #[test]
+    fn suffixes() {
+        assert_eq!(CouponStrategy::Unlimited.suffix(), "U");
+        assert_eq!(CouponStrategy::DROPBOX.suffix(), "L");
+    }
+
+    #[test]
+    fn budgeted_allocation_respects_binv() {
+        use osn_graph::NodeData;
+        let g = graph();
+        let d = NodeData::uniform(6, 1.0, 1.0, 1.0);
+        // Seed cost 1; each funded node's expected distribution costs
+        // 0.5/child. A budget of 1.6 funds node 0 (0.5) but not node 1's
+        // three children (1.5 expected).
+        let k = CouponStrategy::Unlimited.coupons_for_budgeted(&g, &d, &[NodeId(0)], 1.6);
+        assert_eq!(k[0], 1, "first spread node funded");
+        assert_eq!(k[1], 0, "second node exceeds the budget");
+        let total = osn_propagation::expected_sc_cost(&g, &d, &[NodeId(0)], &k) + 1.0;
+        assert!(total <= 1.6 + 1e-9);
+    }
+
+    #[test]
+    fn budgeted_allocation_funds_everything_with_slack() {
+        use osn_graph::NodeData;
+        let g = graph();
+        let d = NodeData::uniform(6, 1.0, 1.0, 1.0);
+        let k = CouponStrategy::Unlimited.coupons_for_budgeted(&g, &d, &[NodeId(0)], 100.0);
+        assert_eq!(k, CouponStrategy::Unlimited.coupons_for(&g, &[NodeId(0)]));
+    }
+
+    #[test]
+    fn budgeted_allocation_is_empty_when_seeds_eat_the_budget() {
+        use osn_graph::NodeData;
+        let g = graph();
+        let d = NodeData::uniform(6, 1.0, 1.0, 1.0);
+        let k = CouponStrategy::Unlimited.coupons_for_budgeted(&g, &d, &[NodeId(0)], 1.0);
+        assert!(k.iter().all(|&x| x == 0));
+    }
+}

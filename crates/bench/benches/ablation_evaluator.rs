@@ -1,0 +1,45 @@
+//! Ablation bench — analytic spread evaluation vs Monte-Carlo at several
+//! world counts (the latency side of Lemma 2's accuracy/cost trade-off).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use osn_gen::DatasetProfile;
+use osn_propagation::evaluator::BenefitEvaluator;
+use osn_propagation::world::WorldCache;
+use osn_propagation::{AnalyticEvaluator, MonteCarloEvaluator};
+use s3crm_bench::Effort;
+use s3crm_core::{s3ca, S3caConfig};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let effort = Effort::micro();
+    let inst = DatasetProfile::Facebook
+        .generate(effort.profile_scale(DatasetProfile::Facebook), effort.seed)
+        .expect("generation");
+    let dep = s3ca(&inst.graph, &inst.data, inst.budget, &S3caConfig::default()).deployment;
+
+    let mut group = c.benchmark_group("ablation_evaluator");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+
+    group.bench_function("analytic", |b| {
+        let ev = AnalyticEvaluator::new(&inst.graph, &inst.data);
+        b.iter(|| ev.expected_benefit(&dep.seeds, &dep.coupons))
+    });
+    for worlds in [16usize, 64, 256] {
+        let cache = WorldCache::sample(&inst.graph, worlds, 11);
+        group.bench_with_input(
+            BenchmarkId::new("monte_carlo", worlds),
+            &worlds,
+            |b, _| {
+                let ev = MonteCarloEvaluator::new(&inst.graph, &inst.data, &cache);
+                b.iter(|| ev.expected_benefit(&dep.seeds, &dep.coupons))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Ablation bench — what GPI + SCM cost on top of the ID phase
+//! (the latency side of the phase ablation in `experiments::ablation`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use osn_gen::DatasetProfile;
+use s3crm_bench::Effort;
+use s3crm_core::{s3ca, S3caConfig};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let effort = Effort::micro();
+    let inst = DatasetProfile::Facebook
+        .generate(effort.profile_scale(DatasetProfile::Facebook), effort.seed)
+        .expect("generation");
+    let mut group = c.benchmark_group("ablation_phases");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    group.bench_function("id_only", |b| {
+        b.iter(|| s3ca(&inst.graph, &inst.data, inst.budget, &S3caConfig::id_only()))
+    });
+    group.bench_function("full_pipeline", |b| {
+        b.iter(|| s3ca(&inst.graph, &inst.data, inst.budget, &S3caConfig::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Fig. 10 bench — exact-OPT search vs S3CA on the paper's 150-node
+//! small networks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use s3crm_baselines::opt::{exhaustive_opt, OptConfig};
+use s3crm_bench::experiments::fig10::small_instance;
+use s3crm_core::{s3ca, S3caConfig};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let (graph, data, binv) = small_instance(60.0, 42);
+    let mut group = c.benchmark_group("fig10_opt_gap");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(4));
+    group.bench_function("s3ca_150", |b| {
+        b.iter(|| s3ca(&graph, &data, binv, &S3caConfig::default()))
+    });
+    // The branch-and-bound search with a trimmed support keeps OPT bench-able.
+    let cfg = OptConfig {
+        max_seeds: 1,
+        max_total_coupons: 4,
+        support_width: 8,
+        ..OptConfig::default()
+    };
+    group.bench_function("opt_150", |b| {
+        b.iter(|| exhaustive_opt(&graph, &data, binv, &cfg))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Fig. 6 bench — investment efficiency kernels.
+//!
+//! Benchmarks the per-algorithm end-to-end latency behind Fig. 6(e)(f)
+//! (running time at fixed budget) on a scaled Facebook-shaped instance.
+//! The full figure series (rate/benefit sweeps) is produced by
+//! `cargo run -p s3crm-bench --release --bin repro -- fig6`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use osn_gen::DatasetProfile;
+use s3crm_bench::scenario::{run_algorithm, Algorithm};
+use s3crm_bench::Effort;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let effort = Effort::micro();
+    let inst = DatasetProfile::Facebook
+        .generate(effort.profile_scale(DatasetProfile::Facebook), effort.seed)
+        .expect("generation");
+    let mut group = c.benchmark_group("fig6_running_time");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    for algo in [
+        Algorithm::S3ca,
+        Algorithm::ImU,
+        Algorithm::PmU,
+        Algorithm::ImS,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(algo.label()), &algo, |b, &a| {
+            b.iter(|| run_algorithm(&inst.graph, &inst.data, inst.budget, a, 32, &effort))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Fig. 7 bench — the seed–SC split under κ extremes.
+//!
+//! Measures the S3CA run that produces one Fig. 7(e) point at the low and
+//! high ends of the κ sweep (cheap vs expensive seeds change how much work
+//! the ID phase does per unit budget).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use osn_gen::attrs::calibrate_kappa;
+use osn_gen::DatasetProfile;
+use s3crm_bench::Effort;
+use s3crm_core::{s3ca, S3caConfig};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let effort = Effort::micro();
+    let base = DatasetProfile::Facebook
+        .generate(effort.profile_scale(DatasetProfile::Facebook), effort.seed)
+        .expect("generation");
+    let mut group = c.benchmark_group("fig7_seed_sc_kernel");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    for kappa in [5.0, 40.0] {
+        let mut data = base.data.clone();
+        calibrate_kappa(&mut data, kappa);
+        group.bench_with_input(BenchmarkId::from_parameter(kappa), &kappa, |b, _| {
+            b.iter(|| s3ca(&base.graph, &data, base.budget, &S3caConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Fig. 8 bench — the case-study pipeline (adoption model + gross margins
+//! + S3CA) for both real coupon policies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use osn_gen::adoption::{adoption_probabilities, apply_adoption, gross_margin_benefits};
+use osn_gen::{seeded_rng, DatasetProfile};
+use osn_graph::NodeData;
+use s3crm_bench::experiments::fig8::policies;
+use s3crm_bench::Effort;
+use s3crm_core::{s3ca, S3caConfig};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let effort = Effort::micro();
+    let base = DatasetProfile::Facebook
+        .generate(effort.profile_scale(DatasetProfile::Facebook), effort.seed)
+        .expect("generation");
+    let n = base.graph.node_count();
+
+    let mut group = c.benchmark_group("fig8_case_study");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    for policy in policies() {
+        let sc_costs = vec![policy.sc_cost; n];
+        let mut rng = seeded_rng(7);
+        let adoption = adoption_probabilities(&sc_costs, &mut rng);
+        let graph = apply_adoption(&base.graph, &adoption).expect("adoption");
+        let data = NodeData::new(
+            gross_margin_benefits(&sc_costs, 60.0),
+            base.data.seed_costs().to_vec(),
+            sc_costs.clone(),
+        )
+        .expect("attributes");
+        let binv = policy.sc_cost * n as f64 * 0.05;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy.name),
+            &policy,
+            |b, _| b.iter(|| s3ca(&graph, &data, binv, &S3caConfig::default())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Fig. 9 bench — S3CA latency vs network size and vs budget on synthetic
+//! power-law-cluster networks (the PPGG substitute).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use s3crm_bench::experiments::fig9::synthetic_instance;
+use s3crm_core::{s3ca, S3caConfig};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    // (a) growing network, fixed budget.
+    let mut group = c.benchmark_group("fig9_vs_network_size");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    for n in [500usize, 1000, 2000] {
+        let (graph, data) = synthetic_instance(n, 42);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| s3ca(&graph, &data, 200.0, &S3caConfig::default()))
+        });
+    }
+    group.finish();
+
+    // (c) fixed network, growing budget.
+    let (graph, data) = synthetic_instance(1000, 42);
+    let mut group = c.benchmark_group("fig9_vs_budget");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    for binv in [100.0f64, 200.0, 400.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(binv), &binv, |b, &bv| {
+            b.iter(|| s3ca(&graph, &data, bv, &S3caConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Table III bench — the hop-statistics pipeline: one S3CA run plus the
+//! Monte-Carlo hop evaluation that produces a Table III cell.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use osn_gen::DatasetProfile;
+use osn_propagation::world::WorldCache;
+use osn_propagation::RedemptionReport;
+use s3crm_bench::Effort;
+use s3crm_core::{s3ca, S3caConfig};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let effort = Effort::micro();
+    let inst = DatasetProfile::Facebook
+        .generate(effort.profile_scale(DatasetProfile::Facebook), effort.seed)
+        .expect("generation");
+    let result = s3ca(&inst.graph, &inst.data, inst.budget, &S3caConfig::default());
+    let cache = WorldCache::sample(&inst.graph, effort.eval_worlds, 3);
+
+    let mut group = c.benchmark_group("table3_hops");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    group.bench_function("hop_evaluation", |b| {
+        b.iter(|| {
+            RedemptionReport::compute(
+                &inst.graph,
+                &inst.data,
+                &result.deployment.seeds,
+                &result.deployment.coupons,
+                &cache,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

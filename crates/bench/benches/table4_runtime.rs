@@ -1,0 +1,32 @@
+//! Table IV bench — S3CA runtime across the paper's budget sweep
+//! (0.6x .. 1.4x of the dataset default), on the Facebook profile.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use osn_gen::DatasetProfile;
+use s3crm_bench::experiments::table4::BUDGET_FACTORS;
+use s3crm_bench::Effort;
+use s3crm_core::{s3ca, S3caConfig};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let effort = Effort::micro();
+    let inst = DatasetProfile::Facebook
+        .generate(effort.profile_scale(DatasetProfile::Facebook), effort.seed)
+        .expect("generation");
+    let mut group = c.benchmark_group("table4_runtime_vs_budget");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    for factor in BUDGET_FACTORS {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{factor}x")),
+            &factor,
+            |b, &f| b.iter(|| s3ca(&inst.graph, &inst.data, inst.budget * f, &S3caConfig::default())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,225 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! cargo run -p s3crm-bench --release --bin repro            # everything, quick preset
+//! cargo run -p s3crm-bench --release --bin repro -- fig6    # one artifact
+//! cargo run -p s3crm-bench --release --bin repro -- --full  # overnight preset
+//! cargo run -p s3crm-bench --release --bin repro -- --scale 2.0 fig9
+//! ```
+//!
+//! Results print as aligned tables and are written as CSV under
+//! `experiments-out/`.
+
+use osn_gen::DatasetProfile;
+use s3crm_bench::experiments::{ablation, extensions, fig10, fig6, fig7, fig8, fig9, table3, table4};
+use s3crm_bench::{Effort, Table};
+use std::path::PathBuf;
+
+struct Args {
+    effort: Effort,
+    artifacts: Vec<String>,
+    out_dir: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut effort = Effort::quick();
+    let mut artifacts: Vec<String> = Vec::new();
+    let mut out_dir = PathBuf::from("experiments-out");
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--full" => effort = Effort::full(),
+            "--micro" => effort = Effort::micro(),
+            "--scale" => {
+                let v = it.next().expect("--scale needs a value");
+                effort.graph_scale = v.parse().expect("--scale must be a number");
+            }
+            "--worlds" => {
+                let v = it.next().expect("--worlds needs a value");
+                effort.eval_worlds = v.parse().expect("--worlds must be an integer");
+            }
+            "--seed" => {
+                let v = it.next().expect("--seed needs a value");
+                effort.seed = v.parse().expect("--seed must be an integer");
+            }
+            "--out" => out_dir = PathBuf::from(it.next().expect("--out needs a path")),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: repro [--full|--micro] [--scale X] [--worlds N] [--seed N] \
+                     [--out DIR] [fig6 fig7 fig8 fig9 fig10 table3 table4 ablation extensions]..."
+                );
+                std::process::exit(0);
+            }
+            other => artifacts.push(other.to_string()),
+        }
+    }
+    if artifacts.is_empty() {
+        artifacts = [
+            "fig6", "fig7", "fig8", "fig9", "fig10", "table3", "table4", "ablation",
+            "extensions",
+        ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+    Args {
+        effort,
+        artifacts,
+        out_dir,
+    }
+}
+
+fn emit(table: Table, out_dir: &PathBuf, name: &str) {
+    table.print();
+    if let Err(e) = table.write_csv(out_dir, &format!("{name}.csv")) {
+        eprintln!("warning: could not write {name}.csv: {e}");
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let e = &args.effort;
+    println!(
+        "# S3CRM reproduction harness — scale x{}, {} eval worlds, seed {}",
+        e.graph_scale, e.eval_worlds, e.seed
+    );
+    println!("# CSV output: {}\n", args.out_dir.display());
+
+    for artifact in &args.artifacts {
+        let t0 = std::time::Instant::now();
+        match artifact.as_str() {
+            "fig6" => {
+                // Paper plots (a)(b) on Douban and (c) Douban / (d) Facebook.
+                let (rate, benefit) = fig6::rate_and_benefit_vs_budget(DatasetProfile::Douban, e);
+                emit(rate, &args.out_dir, "fig6a_rate_vs_budget_douban");
+                emit(benefit, &args.out_dir, "fig6b_benefit_vs_budget_douban");
+                emit(
+                    fig6::rate_vs_lambda(DatasetProfile::Douban, e),
+                    &args.out_dir,
+                    "fig6c_rate_vs_lambda_douban",
+                );
+                emit(
+                    fig6::rate_vs_lambda(DatasetProfile::Facebook, e),
+                    &args.out_dir,
+                    "fig6d_rate_vs_lambda_facebook",
+                );
+                emit(
+                    fig6::running_time(DatasetProfile::Douban, 2.0, e),
+                    &args.out_dir,
+                    "fig6e_running_time_2x",
+                );
+                emit(
+                    fig6::running_time(DatasetProfile::Douban, 3.0, e),
+                    &args.out_dir,
+                    "fig6f_running_time_3x",
+                );
+            }
+            "fig7" => {
+                emit(
+                    fig7::seed_sc_vs_budget(DatasetProfile::Facebook, e),
+                    &args.out_dir,
+                    "fig7a_seedsc_vs_budget_facebook",
+                );
+                emit(
+                    fig7::seed_sc_vs_budget(DatasetProfile::Epinions, e),
+                    &args.out_dir,
+                    "fig7b_seedsc_vs_budget_epinions",
+                );
+                emit(
+                    fig7::seed_sc_vs_lambda(DatasetProfile::Facebook, e),
+                    &args.out_dir,
+                    "fig7c_seedsc_vs_lambda_facebook",
+                );
+                emit(
+                    fig7::seed_sc_vs_lambda(DatasetProfile::GooglePlus, e),
+                    &args.out_dir,
+                    "fig7d_seedsc_vs_lambda_gplus",
+                );
+                emit(
+                    fig7::seed_sc_vs_kappa(DatasetProfile::Facebook, e),
+                    &args.out_dir,
+                    "fig7e_seedsc_vs_kappa_facebook",
+                );
+                emit(
+                    fig7::seed_sc_vs_kappa(DatasetProfile::Douban, e),
+                    &args.out_dir,
+                    "fig7f_seedsc_vs_kappa_douban",
+                );
+            }
+            "fig8" => {
+                for policy in fig8::policies() {
+                    let (rate, ssc) = fig8::case_study(policy, e);
+                    let tag = policy.name.to_lowercase().replace('.', "");
+                    emit(rate, &args.out_dir, &format!("fig8_rate_{tag}"));
+                    emit(ssc, &args.out_dir, &format!("fig8_seedsc_{tag}"));
+                }
+            }
+            "fig9" => {
+                let sizes = [1000, 2000, 4000, 8000];
+                emit(
+                    fig9::vs_network_size(&sizes, 500.0, e),
+                    &args.out_dir,
+                    "fig9ab_vs_network_size",
+                );
+                emit(
+                    fig9::vs_budget(4000, &[200.0, 400.0, 800.0, 1600.0], e),
+                    &args.out_dir,
+                    "fig9cd_vs_budget",
+                );
+            }
+            "fig10" => {
+                let margins = [20.0, 40.0, 60.0, 80.0];
+                emit(
+                    fig10::average_vs_opt(&margins, 3, e),
+                    &args.out_dir,
+                    "fig10a_average_vs_opt",
+                );
+                emit(
+                    fig10::all_results_vs_opt(&margins, 5, e),
+                    &args.out_dir,
+                    "fig10b_all_vs_opt",
+                );
+            }
+            "table3" => {
+                emit(
+                    table3::farthest_hops(&DatasetProfile::ALL, e),
+                    &args.out_dir,
+                    "table3_hops",
+                );
+            }
+            "table4" => {
+                emit(
+                    table4::running_time(&DatasetProfile::ALL, e),
+                    &args.out_dir,
+                    "table4_runtime",
+                );
+            }
+            "extensions" => {
+                emit(
+                    extensions::ris_vs_celf(DatasetProfile::Facebook, e),
+                    &args.out_dir,
+                    "extension_ris_vs_celf",
+                );
+                emit(
+                    extensions::lt_vs_coupon_ic(DatasetProfile::Facebook, e),
+                    &args.out_dir,
+                    "extension_lt_vs_coupon_ic",
+                );
+            }
+            "ablation" => {
+                emit(
+                    ablation::phase_ablation(DatasetProfile::Facebook, e),
+                    &args.out_dir,
+                    "ablation_phases",
+                );
+                emit(
+                    ablation::evaluator_ablation(DatasetProfile::Facebook, e),
+                    &args.out_dir,
+                    "ablation_evaluator",
+                );
+            }
+            other => eprintln!("unknown artifact {other:?}; see --help"),
+        }
+        eprintln!("[{artifact} done in {:.1}s]\n", t0.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,96 @@
+//! Experiment sizing.
+//!
+//! The paper's full datasets range up to 5.5M nodes / 86M edges; the
+//! harness scales each profile down so a complete reproduction runs on a
+//! laptop in minutes. [`Effort::full`] restores larger fractions for
+//! overnight runs.
+
+use osn_gen::DatasetProfile;
+use serde::{Deserialize, Serialize};
+
+/// Global knobs shared by every experiment.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Effort {
+    /// Multiplier on each profile's base scale (1.0 = the preset below).
+    pub graph_scale: f64,
+    /// Worlds in the evaluation cache (Monte-Carlo reports).
+    pub eval_worlds: usize,
+    /// Worlds used inside the IM baselines' greedy selection.
+    pub im_worlds: usize,
+    /// Deterministic master seed.
+    pub seed: u64,
+}
+
+impl Effort {
+    /// Minutes-scale preset used by the `repro` binary by default.
+    pub fn quick() -> Self {
+        Effort {
+            graph_scale: 1.0,
+            eval_worlds: 200,
+            im_worlds: 24,
+            seed: 42,
+        }
+    }
+
+    /// Smaller preset for Criterion micro-benches (seconds-scale kernels).
+    pub fn micro() -> Self {
+        Effort {
+            graph_scale: 0.3,
+            eval_worlds: 64,
+            im_worlds: 8,
+            seed: 42,
+        }
+    }
+
+    /// Larger preset for overnight runs.
+    pub fn full() -> Self {
+        Effort {
+            graph_scale: 4.0,
+            eval_worlds: 1000,
+            im_worlds: 64,
+            seed: 42,
+        }
+    }
+
+    /// The effective generation scale for a profile: a per-profile base
+    /// fraction (keeping every dataset in the same runtime ballpark) times
+    /// the global multiplier, clamped to the generator's `(0, 1]` domain.
+    pub fn profile_scale(&self, profile: DatasetProfile) -> f64 {
+        let base = match profile {
+            DatasetProfile::Facebook => 0.25,   // 1 000 nodes at quick
+            DatasetProfile::Epinions => 0.02,   // 1 520 nodes
+            DatasetProfile::GooglePlus => 0.01, // 1 080 nodes
+            DatasetProfile::Douban => 0.0004,   // 2 200 nodes
+        };
+        (base * self.graph_scale).clamp(1e-6, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered() {
+        let q = Effort::quick();
+        let f = Effort::full();
+        assert!(f.graph_scale > q.graph_scale);
+        assert!(f.eval_worlds > q.eval_worlds);
+    }
+
+    #[test]
+    fn profile_scale_clamps() {
+        let mut e = Effort::full();
+        e.graph_scale = 1e9;
+        assert_eq!(e.profile_scale(DatasetProfile::Facebook), 1.0);
+    }
+
+    #[test]
+    fn quick_facebook_is_about_a_thousand_nodes() {
+        let e = Effort::quick();
+        let n = (DatasetProfile::Facebook.nodes() as f64
+            * e.profile_scale(DatasetProfile::Facebook))
+        .round() as usize;
+        assert_eq!(n, 1000);
+    }
+}

@@ -1,0 +1,11 @@
+//! One module per paper artifact (see the crate docs for the mapping).
+
+pub mod ablation;
+pub mod extensions;
+pub mod fig10;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table3;
+pub mod table4;

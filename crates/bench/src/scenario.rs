@@ -1,0 +1,195 @@
+//! Algorithm dispatch shared by every experiment.
+
+use crate::effort::Effort;
+use osn_graph::{CsrGraph, NodeData};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use s3crm_baselines::im::{im_with_strategy, ImConfig};
+use s3crm_baselines::im_s::im_s;
+use s3crm_baselines::pm::{pm_with_strategy, PmConfig};
+use s3crm_baselines::random_seeds::random_deployment;
+use s3crm_baselines::strategy::CouponStrategy;
+use s3crm_core::{s3ca, Deployment, S3caConfig, Telemetry};
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Every algorithm the harness can run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// The paper's contribution (all three phases).
+    S3ca,
+    /// Ablation: ID phase only.
+    S3caIdOnly,
+    /// Influence maximization + unlimited coupon strategy.
+    ImU,
+    /// Influence maximization + limited (Dropbox, k = 32) strategy.
+    ImL,
+    /// Profit maximization + unlimited strategy.
+    PmU,
+    /// Profit maximization + limited strategy.
+    PmL,
+    /// The two-stage shortest-path heuristic.
+    ImS,
+    /// Random feasible deployment (sanity floor; not in the paper).
+    Random,
+}
+
+impl Algorithm {
+    /// The baseline set the paper's figures compare (Fig. 6 ordering).
+    pub const PAPER_SET: [Algorithm; 6] = [
+        Algorithm::ImU,
+        Algorithm::ImL,
+        Algorithm::PmU,
+        Algorithm::PmL,
+        Algorithm::ImS,
+        Algorithm::S3ca,
+    ];
+
+    /// The five algorithms of Table III.
+    pub const TABLE3_SET: [Algorithm; 5] = [
+        Algorithm::ImU,
+        Algorithm::ImL,
+        Algorithm::PmU,
+        Algorithm::PmL,
+        Algorithm::S3ca,
+    ];
+
+    /// Display label matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Algorithm::S3ca => "S3CA",
+            Algorithm::S3caIdOnly => "S3CA-ID",
+            Algorithm::ImU => "IM-U",
+            Algorithm::ImL => "IM-L",
+            Algorithm::PmU => "PM-U",
+            Algorithm::PmL => "PM-L",
+            Algorithm::ImS => "IM-S",
+            Algorithm::Random => "Random",
+        }
+    }
+
+    /// The limited-strategy coupon cap used when this algorithm needs one.
+    /// Overridable per experiment (the Fig. 8 case study uses the Airbnb /
+    /// Booking.com allocations instead of Dropbox's 32).
+    pub fn default_limited_cap() -> u32 {
+        32
+    }
+}
+
+/// One algorithm execution: deployment, wall time, optional telemetry.
+#[derive(Clone, Debug)]
+pub struct AlgoRun {
+    pub algorithm: Algorithm,
+    pub deployment: Deployment,
+    pub wall: Duration,
+    /// Populated for S3CA variants.
+    pub telemetry: Option<Telemetry>,
+}
+
+/// Execute `algorithm` on the instance with the given limited-strategy cap.
+pub fn run_algorithm(
+    graph: &CsrGraph,
+    data: &NodeData,
+    binv: f64,
+    algorithm: Algorithm,
+    limited_cap: u32,
+    effort: &Effort,
+) -> AlgoRun {
+    let im_cfg = ImConfig {
+        worlds: effort.im_worlds,
+        rng_seed: effort.seed ^ 0xD1CE,
+        ..ImConfig::default()
+    };
+    let pm_cfg = PmConfig::default();
+    let start = Instant::now();
+    let (deployment, telemetry) = match algorithm {
+        Algorithm::S3ca => {
+            let r = s3ca(graph, data, binv, &S3caConfig::default());
+            (r.deployment, Some(r.telemetry))
+        }
+        Algorithm::S3caIdOnly => {
+            let r = s3ca(graph, data, binv, &S3caConfig::id_only());
+            (r.deployment, Some(r.telemetry))
+        }
+        Algorithm::ImU => (
+            im_with_strategy(graph, data, binv, CouponStrategy::Unlimited, &im_cfg),
+            None,
+        ),
+        Algorithm::ImL => (
+            im_with_strategy(
+                graph,
+                data,
+                binv,
+                CouponStrategy::Limited(limited_cap),
+                &im_cfg,
+            ),
+            None,
+        ),
+        Algorithm::PmU => (
+            pm_with_strategy(graph, data, binv, CouponStrategy::Unlimited, &pm_cfg),
+            None,
+        ),
+        Algorithm::PmL => (
+            pm_with_strategy(
+                graph,
+                data,
+                binv,
+                CouponStrategy::Limited(limited_cap),
+                &pm_cfg,
+            ),
+            None,
+        ),
+        Algorithm::ImS => (im_s(graph, data, binv, &im_cfg), None),
+        Algorithm::Random => {
+            let mut rng = SmallRng::seed_from_u64(effort.seed ^ 0xA11CE);
+            (
+                random_deployment(graph, data, binv, CouponStrategy::Unlimited, &mut rng),
+                None,
+            )
+        }
+    };
+    AlgoRun {
+        algorithm,
+        deployment,
+        wall: start.elapsed(),
+        telemetry,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_gen::DatasetProfile;
+
+    #[test]
+    fn labels_match_the_paper() {
+        let labels: Vec<&str> = Algorithm::PAPER_SET.iter().map(|a| a.label()).collect();
+        assert_eq!(labels, vec!["IM-U", "IM-L", "PM-U", "PM-L", "IM-S", "S3CA"]);
+    }
+
+    #[test]
+    fn every_algorithm_runs_and_respects_budget() {
+        let inst = DatasetProfile::Facebook.generate(0.02, 7).unwrap(); // 80 nodes
+        let effort = Effort::micro();
+        for algo in [
+            Algorithm::S3ca,
+            Algorithm::S3caIdOnly,
+            Algorithm::ImU,
+            Algorithm::ImL,
+            Algorithm::PmU,
+            Algorithm::PmL,
+            Algorithm::ImS,
+            Algorithm::Random,
+        ] {
+            let run = run_algorithm(&inst.graph, &inst.data, inst.budget, algo, 32, &effort);
+            let v = s3crm_core::objective::evaluate(&inst.graph, &inst.data, &run.deployment);
+            assert!(
+                v.within_budget(inst.budget),
+                "{} exceeded budget: {} > {}",
+                algo.label(),
+                v.total_cost(),
+                inst.budget
+            );
+        }
+    }
+}

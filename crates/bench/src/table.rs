@@ -1,0 +1,160 @@
+//! Plain-text and CSV rendering of experiment results.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+
+/// A titled table of string cells.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Table {
+    pub title: String,
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title and headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Render as an aligned text block.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize], out: &mut String| {
+            let joined: Vec<String> = cells
+                .iter()
+                .zip(widths.iter())
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect();
+            let _ = writeln!(out, "  {}", joined.join("  "));
+        };
+        line(&self.headers, &widths, &mut out);
+        let total = widths.iter().sum::<usize>() + 2 * widths.len();
+        let _ = writeln!(out, "  {}", "-".repeat(total));
+        for row in &self.rows {
+            line(row, &widths, &mut out);
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+        println!();
+    }
+
+    /// CSV serialization (comma-escaped by quoting).
+    pub fn to_csv(&self) -> String {
+        let esc = |c: &str| {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Write the CSV next to a directory, creating it if needed.
+    pub fn write_csv(&self, dir: &Path, file: &str) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let mut f = std::fs::File::create(dir.join(file))?;
+        f.write_all(self.to_csv().as_bytes())
+    }
+}
+
+/// Compact numeric formatting: 4 significant digits, no trailing noise.
+pub fn num(x: f64) -> String {
+    if x.is_infinite() {
+        return "inf".into();
+    }
+    if x == 0.0 {
+        return "0".into();
+    }
+    let a = x.abs();
+    if a >= 1000.0 {
+        format!("{x:.0}")
+    } else if a >= 10.0 {
+        format!("{x:.1}")
+    } else if a >= 0.01 {
+        format!("{x:.3}")
+    } else {
+        format!("{x:.2e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["alg", "rate"]);
+        t.push_row(vec!["S3CA".into(), "3.10".into()]);
+        t.push_row(vec!["IM-U".into(), "2.444".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("S3CA"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_is_enforced() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new("demo", &["a"]);
+        t.push_row(vec!["x,y".into()]);
+        assert!(t.to_csv().contains("\"x,y\""));
+    }
+
+    #[test]
+    fn num_formats_by_magnitude() {
+        assert_eq!(num(0.0), "0");
+        assert_eq!(num(3.14159), "3.142");
+        assert_eq!(num(42.123), "42.1");
+        assert_eq!(num(12345.6), "12346");
+        assert_eq!(num(0.0001234), "1.23e-4");
+        assert_eq!(num(f64::INFINITY), "inf");
+    }
+}

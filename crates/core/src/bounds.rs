@@ -1,0 +1,62 @@
+//! Theorem 2 — the approximation guarantee of S3CA.
+//!
+//! `S3CA` is a `(1 − e^{−1/(b0·c0)} − ε)`-approximation, where
+//! `b0 = max b / min b` and `c0 = max cost / min cost` over positive
+//! attributes. Fig. 10 plots `worst case = OPT · ratio`; these helpers
+//! regenerate that curve.
+
+use osn_graph::NodeData;
+
+/// `b0 · c0` for an instance.
+pub fn spread_product(data: &NodeData) -> f64 {
+    data.benefit_spread() * data.cost_spread()
+}
+
+/// The Theorem 2 ratio `1 − e^{−1/(b0·c0)} − ε`, clamped to `[0, 1]`.
+pub fn approximation_ratio(data: &NodeData, epsilon: f64) -> f64 {
+    assert!((0.0..1.0).contains(&epsilon), "ε must lie in [0, 1)");
+    let bc = spread_product(data);
+    ((1.0 - (-1.0 / bc).exp()) - epsilon).clamp(0.0, 1.0)
+}
+
+/// The worst-case redemption rate S3CA may return given the optimum.
+pub fn worst_case_bound(opt_rate: f64, data: &NodeData, epsilon: f64) -> f64 {
+    opt_rate * approximation_ratio(data, epsilon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_instance_reaches_the_constant_ratio() {
+        // b0 = c0 = 1 → ratio = 1 − 1/e − ε, the paper's "constant
+        // approximation" remark.
+        let d = NodeData::uniform(4, 1.0, 1.0, 1.0);
+        let r = approximation_ratio(&d, 0.0);
+        assert!((r - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+        assert!((r - 0.632).abs() < 1e-3);
+    }
+
+    #[test]
+    fn ratio_shrinks_with_heterogeneity() {
+        let uniform = NodeData::uniform(4, 1.0, 1.0, 1.0);
+        let skew = NodeData::new(vec![1.0, 10.0, 1.0, 1.0], vec![1.0; 4], vec![1.0; 4]).unwrap();
+        assert!(approximation_ratio(&skew, 0.0) < approximation_ratio(&uniform, 0.0));
+    }
+
+    #[test]
+    fn epsilon_subtracts_and_clamps() {
+        let d = NodeData::uniform(2, 1.0, 1.0, 1.0);
+        let base = approximation_ratio(&d, 0.0);
+        assert!((approximation_ratio(&d, 0.1) - (base - 0.1)).abs() < 1e-12);
+        assert_eq!(approximation_ratio(&d, 0.99), 0.0); // clamped
+    }
+
+    #[test]
+    fn worst_case_scales_opt() {
+        let d = NodeData::uniform(2, 1.0, 1.0, 1.0);
+        let bound = worst_case_bound(2.0, &d, 0.0);
+        assert!((bound - 2.0 * approximation_ratio(&d, 0.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,136 @@
+//! The decision variables of S3CRM: `(S, I, K(I))`.
+//!
+//! `I` is represented implicitly: a node is internal exactly when it holds
+//! at least one coupon, matching the paper's `K(I) = {k_i | v_i ∈ I}`.
+
+use osn_graph::{CsrGraph, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// A (partial or final) solution: the seed set and per-node coupon counts.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Deployment {
+    /// Selected seeds `S`, in selection order (no duplicates).
+    pub seeds: Vec<NodeId>,
+    /// `k_i` per node (0 for non-internal nodes); indexed by node id.
+    pub coupons: Vec<u32>,
+}
+
+impl Deployment {
+    /// Empty deployment over `n` users.
+    pub fn empty(n: usize) -> Self {
+        Deployment {
+            seeds: Vec::new(),
+            coupons: vec![0; n],
+        }
+    }
+
+    /// Number of users covered.
+    pub fn len(&self) -> usize {
+        self.coupons.len()
+    }
+
+    /// True when no user exists.
+    pub fn is_empty(&self) -> bool {
+        self.coupons.is_empty()
+    }
+
+    /// Whether `v` is a seed.
+    pub fn is_seed(&self, v: NodeId) -> bool {
+        self.seeds.contains(&v)
+    }
+
+    /// Add a seed (idempotent).
+    pub fn add_seed(&mut self, v: NodeId) {
+        if !self.is_seed(v) {
+            self.seeds.push(v);
+        }
+    }
+
+    /// Give `v` extra coupons, capped at its out-degree (a user can never
+    /// refer more friends than they have: `k_i ∈ [0, |N(v_i)|]`). Returns
+    /// the number actually added.
+    pub fn add_coupons(&mut self, graph: &CsrGraph, v: NodeId, count: u32) -> u32 {
+        let cap = graph.out_degree(v) as u32;
+        let cur = self.coupons[v.index()];
+        let add = count.min(cap.saturating_sub(cur));
+        self.coupons[v.index()] = cur + add;
+        add
+    }
+
+    /// Remove up to `count` coupons from `v`; returns the number removed.
+    pub fn remove_coupons(&mut self, v: NodeId, count: u32) -> u32 {
+        let cur = self.coupons[v.index()];
+        let take = count.min(cur);
+        self.coupons[v.index()] = cur - take;
+        take
+    }
+
+    /// The internal node set `I` = coupon holders.
+    pub fn internal_nodes(&self) -> Vec<NodeId> {
+        self.coupons
+            .iter()
+            .enumerate()
+            .filter(|(_, &k)| k > 0)
+            .map(|(i, _)| NodeId::from_index(i))
+            .collect()
+    }
+
+    /// Total allocated coupons `Σ k_i`.
+    pub fn total_coupons(&self) -> u64 {
+        self.coupons.iter().map(|&k| k as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_graph::GraphBuilder;
+
+    fn graph() -> CsrGraph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 0.5).unwrap();
+        b.add_edge(0, 2, 0.5).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn coupons_capped_at_out_degree() {
+        let g = graph();
+        let mut d = Deployment::empty(3);
+        assert_eq!(d.add_coupons(&g, NodeId(0), 5), 2);
+        assert_eq!(d.coupons[0], 2);
+        assert_eq!(d.add_coupons(&g, NodeId(0), 1), 0);
+        // Leaf node can hold no coupons at all.
+        assert_eq!(d.add_coupons(&g, NodeId(1), 3), 0);
+    }
+
+    #[test]
+    fn internal_nodes_are_coupon_holders() {
+        let g = graph();
+        let mut d = Deployment::empty(3);
+        assert!(d.internal_nodes().is_empty());
+        d.add_coupons(&g, NodeId(0), 1);
+        assert_eq!(d.internal_nodes(), vec![NodeId(0)]);
+        assert_eq!(d.total_coupons(), 1);
+    }
+
+    #[test]
+    fn seeds_are_deduplicated() {
+        let mut d = Deployment::empty(3);
+        d.add_seed(NodeId(1));
+        d.add_seed(NodeId(1));
+        assert_eq!(d.seeds, vec![NodeId(1)]);
+        assert!(d.is_seed(NodeId(1)));
+        assert!(!d.is_seed(NodeId(0)));
+    }
+
+    #[test]
+    fn remove_coupons_saturates() {
+        let g = graph();
+        let mut d = Deployment::empty(3);
+        d.add_coupons(&g, NodeId(0), 2);
+        assert_eq!(d.remove_coupons(NodeId(0), 5), 2);
+        assert_eq!(d.coupons[0], 0);
+        assert_eq!(d.remove_coupons(NodeId(0), 1), 0);
+    }
+}

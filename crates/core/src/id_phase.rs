@@ -1,0 +1,358 @@
+//! Phase 1 — Investment Deployment (Alg. 1, lines 1–24).
+//!
+//! Greedy deployment of the budget across three strategies:
+//!
+//! 1. **broaden** — one more coupon to a current internal node (also turns
+//!    its most valuable dependent edge independent);
+//! 2. **deepen** — a first coupon to an influenced non-internal node at the
+//!    spread frontier;
+//! 3. **new source** — activate the next pivot-source package from the
+//!    [`PivotQueue`](crate::pivot::PivotQueue).
+//!
+//! Each iteration compares the best marginal redemption (MR) of strategies
+//! 1–2 against the standalone redemption rate of the current pivot source
+//! (strategy 3) and applies the winner, if it fits the remaining budget.
+//! Every intermediate deployment is a candidate; the phase returns the one
+//! with the highest redemption rate (Alg. 1 line 24), which we track as a
+//! running argmax instead of materializing the full candidate list `D`.
+
+use crate::deployment::Deployment;
+use crate::objective::{self, ObjectiveValue};
+use crate::pivot::{PivotQueue, SeedPackage};
+use osn_graph::{CsrGraph, NodeData, NodeId};
+use osn_propagation::spread::SpreadState;
+
+/// Marks nodes whose neighborhoods the algorithm actually expanded — the
+/// numerator of Fig. 9's *explored ratio*.
+#[derive(Clone, Debug)]
+pub struct ExploreTracker {
+    mask: Vec<bool>,
+    count: usize,
+}
+
+impl ExploreTracker {
+    /// Tracker over `n` nodes.
+    pub fn new(n: usize) -> Self {
+        ExploreTracker {
+            mask: vec![false; n],
+            count: 0,
+        }
+    }
+
+    /// Record that `v`'s adjacency was scanned.
+    #[inline]
+    pub fn mark(&mut self, v: NodeId) {
+        if !self.mask[v.index()] {
+            self.mask[v.index()] = true;
+            self.count += 1;
+        }
+    }
+
+    /// Number of explored nodes.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Explored fraction of an `n`-node network.
+    pub fn ratio(&self) -> f64 {
+        if self.mask.is_empty() {
+            0.0
+        } else {
+            self.count as f64 / self.mask.len() as f64
+        }
+    }
+}
+
+/// Result of the ID phase.
+#[derive(Clone, Debug)]
+pub struct IdOutcome {
+    /// `D*`: the intermediate deployment with the best *analytic*
+    /// redemption rate.
+    pub deployment: Deployment,
+    /// Analytic objective of `D*`.
+    pub objective: ObjectiveValue,
+    /// Greedy moves applied (coupons bought + seeds activated).
+    pub iterations: usize,
+    /// Budget-milestone snapshots of the greedy trajectory (one roughly per
+    /// twelfth of the budget, plus the final deployment). The paper's line
+    /// 24 picks `D*` from the candidate list `D` by Monte-Carlo-estimated
+    /// rate; [`s3ca`](crate::s3ca::s3ca) re-ranks these snapshots the same
+    /// way, which matters on cyclic graphs where the fast analytic
+    /// evaluator systematically underestimates deep spreads.
+    pub snapshots: Vec<Deployment>,
+}
+
+/// Tolerance for budget comparisons (floating-point accumulation).
+const BUDGET_EPS: f64 = 1e-9;
+
+/// Run Investment Deployment under budget `binv`.
+pub fn investment_deployment(
+    graph: &CsrGraph,
+    data: &NodeData,
+    binv: f64,
+    explored: &mut ExploreTracker,
+    max_iterations: usize,
+) -> IdOutcome {
+    let n = graph.node_count();
+    let mut queue = PivotQueue::build(graph, data, binv);
+    let mut dep = Deployment::empty(n);
+
+    // Initial influence source: the best feasible package.
+    let Some(first) = queue.pop() else {
+        return IdOutcome {
+            deployment: dep,
+            objective: ObjectiveValue::default(),
+            iterations: 0,
+            snapshots: Vec::new(),
+        };
+    };
+    apply_package(graph, &mut dep, &first);
+    explored.mark(first.node);
+
+    let mut pivot = next_usable_pivot(&mut queue, &dep);
+    let mut state = SpreadState::evaluate(graph, data, &dep.seeds, &dep.coupons);
+    let mut value = objective::value_from_state(graph, data, &dep, &state);
+
+    let mut best_dep = dep.clone();
+    let mut best_value = value;
+    let mut iterations = 1usize;
+    let mut snapshots: Vec<Deployment> = vec![dep.clone()];
+    let milestone = (binv / 12.0).max(f64::MIN_POSITIVE);
+    let mut next_milestone = value.total_cost() + milestone;
+
+    while iterations < max_iterations {
+        // Best coupon move (strategies 1–2) over the current spread.
+        let mut best_mr = 0.0f64;
+        let mut best_node: Option<(NodeId, f64, f64)> = None;
+        for &u in &state.order {
+            if state.active_prob[u.index()] <= 0.0 {
+                continue;
+            }
+            if dep.coupons[u.index()] >= graph.out_degree(u) as u32 {
+                continue;
+            }
+            explored.mark(u);
+            let (db, dc) = state.coupon_delta(graph, data, u, 1);
+            if db <= 0.0 {
+                continue;
+            }
+            if value.total_cost() + dc > binv + BUDGET_EPS {
+                continue;
+            }
+            let mr = if dc > 0.0 { db / dc } else { f64::MAX };
+            if mr > best_mr {
+                best_mr = mr;
+                best_node = Some((u, db, dc));
+            }
+        }
+
+        // Strategy 3: the pivot source's standalone rate.
+        let pivot_feasible = pivot
+            .as_ref()
+            .is_some_and(|p| value.total_cost() + p.cost <= binv + BUDGET_EPS);
+        let pivot_rate = pivot.as_ref().map_or(0.0, |p| p.rate);
+
+        let take_coupon = match (best_node.is_some(), pivot_feasible) {
+            (false, false) => {
+                // Neither fits. If a pivot exists but is too expensive, a
+                // cheaper one may hide behind it; advance the queue.
+                if pivot.is_some() {
+                    pivot = next_usable_pivot(&mut queue, &dep);
+                    if pivot.is_some() {
+                        continue;
+                    }
+                }
+                break;
+            }
+            (true, false) => true,
+            (false, true) => false,
+            // Alg. 1 line 11: the coupon must strictly beat the pivot.
+            (true, true) => best_mr > pivot_rate,
+        };
+
+        if take_coupon {
+            let (u, _, _) = best_node.expect("guarded by take_coupon");
+            dep.add_coupons(graph, u, 1);
+        } else {
+            let pkg = pivot.take().expect("guarded by pivot_feasible");
+            apply_package(graph, &mut dep, &pkg);
+            explored.mark(pkg.node);
+            pivot = next_usable_pivot(&mut queue, &dep);
+        }
+        iterations += 1;
+
+        state = SpreadState::evaluate(graph, data, &dep.seeds, &dep.coupons);
+        value = objective::value_from_state(graph, data, &dep, &state);
+        // Ties favor the later (larger) deployment, so equal-rate pivot
+        // additions keep extending the spread instead of freezing D* at the
+        // first snapshot.
+        if value.within_budget(binv) && value.rate >= best_value.rate * (1.0 - 1e-9) {
+            best_value = value;
+            best_dep = dep.clone();
+        }
+        if value.within_budget(binv) && value.total_cost() >= next_milestone {
+            snapshots.push(dep.clone());
+            next_milestone = value.total_cost() + milestone;
+        }
+    }
+    // The final deployment and the analytic argmax are always candidates.
+    if snapshots.last() != Some(&dep) && value.within_budget(binv) {
+        snapshots.push(dep.clone());
+    }
+    if snapshots.last() != Some(&best_dep) {
+        snapshots.push(best_dep.clone());
+    }
+
+    IdOutcome {
+        deployment: best_dep,
+        objective: best_value,
+        iterations,
+        snapshots,
+    }
+}
+
+fn apply_package(graph: &CsrGraph, dep: &mut Deployment, pkg: &SeedPackage) {
+    dep.add_seed(pkg.node);
+    if pkg.coupons > 0 {
+        dep.add_coupons(graph, pkg.node, pkg.coupons);
+    }
+}
+
+/// Pop pivots until one names a node not yet invested in (a node already in
+/// the seed set or holding coupons would double-count its package value).
+fn next_usable_pivot(queue: &mut PivotQueue, dep: &Deployment) -> Option<SeedPackage> {
+    while let Some(p) = queue.pop() {
+        if !dep.is_seed(p.node) && dep.coupons[p.node.index()] == 0 {
+            return Some(p);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_graph::GraphBuilder;
+
+    /// Example 1 instance (Sec. IV-A).
+    fn example1() -> (CsrGraph, NodeData) {
+        let mut b = GraphBuilder::new(7);
+        b.add_edge(0, 1, 0.6).unwrap();
+        b.add_edge(0, 2, 0.4).unwrap();
+        b.add_edge(1, 3, 0.5).unwrap();
+        b.add_edge(1, 4, 0.4).unwrap();
+        b.add_edge(2, 5, 0.8).unwrap();
+        b.add_edge(2, 6, 0.7).unwrap();
+        let mut seed_costs = vec![100.0; 7];
+        seed_costs[0] = 0.0;
+        (
+            b.build().unwrap(),
+            NodeData::new(vec![1.0; 7], seed_costs, vec![1.0; 7]).unwrap(),
+        )
+    }
+
+    #[test]
+    fn example1_returns_the_best_rate_snapshot() {
+        // The initial deployment (seed v1 with one SC) has rate
+        // 1.76/0.76 ≈ 2.32; every further investment in this toy instance
+        // dilutes the rate (the next best move, the second coupon on v1,
+        // has MR = 1 < 2.32), so D* is the first snapshot (Alg. 1 line 24).
+        let (g, d) = example1();
+        let mut tracker = ExploreTracker::new(7);
+        let out = investment_deployment(&g, &d, 2.0, &mut tracker, 10_000);
+        assert_eq!(out.deployment.seeds, vec![NodeId(0)]);
+        assert_eq!(out.deployment.coupons[0], 1);
+        assert!((out.objective.rate - 1.76 / 0.76).abs() < 1e-9);
+        // The loop itself kept investing until the budget ran out.
+        assert!(out.iterations > 1, "iterations = {}", out.iterations);
+    }
+
+    #[test]
+    fn respects_budget() {
+        let (g, d) = example1();
+        let mut tracker = ExploreTracker::new(7);
+        for binv in [0.5, 1.0, 2.0, 5.0] {
+            let out = investment_deployment(&g, &d, binv, &mut tracker, 10_000);
+            assert!(
+                out.objective.within_budget(binv),
+                "cost {} exceeds budget {binv}",
+                out.objective.total_cost()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_when_nothing_affordable() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 0.5).unwrap();
+        let g = b.build().unwrap();
+        let d = NodeData::uniform(2, 1.0, 50.0, 1.0);
+        let mut tracker = ExploreTracker::new(2);
+        let out = investment_deployment(&g, &d, 1.0, &mut tracker, 100);
+        assert!(out.deployment.seeds.is_empty());
+        assert_eq!(out.objective.rate, 0.0);
+    }
+
+    #[test]
+    fn picks_high_rate_snapshot_not_last() {
+        // A chain where the first coupon is great and the second is poor:
+        // the returned D* must be the early snapshot.
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 0.9).unwrap();
+        b.add_edge(1, 2, 0.1).unwrap();
+        let g = b.build().unwrap();
+        let d = NodeData::new(
+            vec![1.0, 5.0, 0.1],
+            vec![0.5, 100.0, 100.0],
+            vec![1.0; 3],
+        )
+        .unwrap();
+        let mut tracker = ExploreTracker::new(3);
+        let out = investment_deployment(&g, &d, 10.0, &mut tracker, 10_000);
+        // Deployment keeps v1's coupon; v1→v2's coupon (benefit 0.1·0.1)
+        // would dilute the rate and must not be in the returned snapshot.
+        assert_eq!(out.deployment.coupons[1], 0);
+        assert!(out.objective.rate > 3.0);
+    }
+
+    #[test]
+    fn multiple_seeds_activated_when_pivot_wins() {
+        // Two disconnected cheap stars: after saturating the first, the
+        // pivot's rate beats any remaining coupon MR.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 0.9).unwrap();
+        b.add_edge(2, 3, 0.9).unwrap();
+        let g = b.build().unwrap();
+        let d = NodeData::new(
+            vec![2.0; 4],
+            vec![0.5, 100.0, 0.5, 100.0],
+            vec![1.0; 4],
+        )
+        .unwrap();
+        let mut tracker = ExploreTracker::new(4);
+        let out = investment_deployment(&g, &d, 10.0, &mut tracker, 10_000);
+        assert_eq!(out.deployment.seeds.len(), 2, "both stars should seed");
+    }
+
+    #[test]
+    fn explored_count_is_budget_bounded() {
+        // A long chain with a tiny budget: exploration must not touch the
+        // whole graph.
+        let n = 200;
+        let mut b = GraphBuilder::new(n);
+        for i in 0..(n as u32 - 1) {
+            b.add_edge(i, i + 1, 0.9).unwrap();
+        }
+        let g = b.build().unwrap();
+        let mut seed_costs = vec![100.0; n];
+        seed_costs[0] = 0.5;
+        let d = NodeData::new(vec![1.0; n], seed_costs, vec![1.0; n]).unwrap();
+        let mut tracker = ExploreTracker::new(n);
+        let _ = investment_deployment(&g, &d, 3.0, &mut tracker, 10_000);
+        assert!(
+            tracker.count() < n / 2,
+            "explored {} of {n} despite budget 3",
+            tracker.count()
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! A complete S3CRM problem instance.
+
+use osn_graph::{CsrGraph, GraphError, NodeData};
+
+/// Graph + per-node attributes + investment budget: everything the problem
+/// definition (1a)–(1b) takes as input.
+#[derive(Clone, Debug)]
+pub struct Instance {
+    pub graph: CsrGraph,
+    pub data: NodeData,
+    /// `Binv`.
+    pub budget: f64,
+}
+
+impl Instance {
+    /// Bundle the parts, validating that the attribute arrays cover the
+    /// graph and the budget is usable.
+    pub fn new(graph: CsrGraph, data: NodeData, budget: f64) -> Result<Self, GraphError> {
+        if data.len() != graph.node_count() {
+            return Err(GraphError::AttributeLengthMismatch {
+                expected: graph.node_count(),
+                got: data.len(),
+            });
+        }
+        if !budget.is_finite() || budget < 0.0 {
+            return Err(GraphError::InvalidAttribute {
+                node: 0,
+                name: "budget",
+                value: budget,
+            });
+        }
+        Ok(Instance {
+            graph,
+            data,
+            budget,
+        })
+    }
+
+    /// Number of users.
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Number of directed relationships.
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_graph::GraphBuilder;
+
+    #[test]
+    fn validates_attribute_coverage() {
+        let g = GraphBuilder::new(3).build().unwrap();
+        let d = NodeData::uniform(2, 1.0, 1.0, 1.0);
+        assert!(Instance::new(g.clone(), d, 1.0).is_err());
+        let d3 = NodeData::uniform(3, 1.0, 1.0, 1.0);
+        assert!(Instance::new(g, d3, 1.0).is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_budget() {
+        let g = GraphBuilder::new(1).build().unwrap();
+        let d = NodeData::uniform(1, 1.0, 1.0, 1.0);
+        assert!(Instance::new(g.clone(), d.clone(), -1.0).is_err());
+        assert!(Instance::new(g.clone(), d.clone(), f64::NAN).is_err());
+        assert!(Instance::new(g, d, 0.0).is_ok());
+    }
+}

@@ -1,0 +1,267 @@
+//! The full S3CA pipeline: ID → GPI → SCM.
+
+use crate::deployment::Deployment;
+use crate::gpi::identify_guaranteed_paths;
+use crate::id_phase::{investment_deployment, ExploreTracker};
+use crate::objective::{self, ObjectiveValue};
+use crate::scm::{sc_maneuver, ScmStats};
+use osn_graph::{CsrGraph, NodeData};
+use osn_propagation::BenefitEvaluator;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Tunables of the algorithm. The defaults run the full three-phase
+/// pipeline; the phase switches exist for the `ablation_phases` bench.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct S3caConfig {
+    /// Run Guaranteed-Path Identification (phase 2).
+    pub enable_gpi: bool,
+    /// Run SC Maneuver (phase 3; requires GPI).
+    pub enable_scm: bool,
+    /// Safety cap on greedy ID moves.
+    pub max_id_iterations: usize,
+    /// Cap on guaranteed paths examined by SCM.
+    pub max_scm_paths: usize,
+    /// Worlds used to re-rank the ID phase's budget-milestone snapshots by
+    /// Monte-Carlo benefit (Alg. 1 line 24 picks `D*` from the candidate
+    /// list under the paper's MC-estimated rate). 0 disables the re-ranking
+    /// and keeps the analytic argmax — the `ablation_evaluator` setting.
+    pub snapshot_worlds: usize,
+    /// Seed for the snapshot-selection world sample.
+    pub rng_seed: u64,
+}
+
+impl Default for S3caConfig {
+    fn default() -> Self {
+        S3caConfig {
+            enable_gpi: true,
+            enable_scm: true,
+            max_id_iterations: 200_000,
+            max_scm_paths: 256,
+            snapshot_worlds: 64,
+            rng_seed: 0x53CA,
+        }
+    }
+}
+
+impl S3caConfig {
+    /// ID phase only — the ablation baseline quantifying what GPI + SCM buy.
+    pub fn id_only() -> Self {
+        S3caConfig {
+            enable_gpi: false,
+            enable_scm: false,
+            ..Self::default()
+        }
+    }
+}
+
+/// Runtime/exploration instrumentation (Fig. 9, Table IV).
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct Telemetry {
+    /// Nodes whose adjacency the algorithm expanded.
+    pub explored_nodes: usize,
+    /// `explored_nodes / |V|` — Fig. 9's explored ratio.
+    pub explored_ratio: f64,
+    /// Wall-clock microseconds per phase.
+    pub id_micros: u64,
+    pub gpi_micros: u64,
+    pub scm_micros: u64,
+    /// Greedy moves in the ID phase.
+    pub id_iterations: usize,
+    /// Guaranteed paths identified.
+    pub gp_count: usize,
+    /// Paths whose maneuvers were committed.
+    pub scm_paths_created: usize,
+    /// Coupons moved by committed maneuvers.
+    pub scm_coupons_moved: u64,
+}
+
+impl Telemetry {
+    /// Total wall-clock microseconds.
+    pub fn total_micros(&self) -> u64 {
+        self.id_micros + self.gpi_micros + self.scm_micros
+    }
+}
+
+/// Output of a full S3CA run.
+#[derive(Clone, Debug)]
+pub struct S3caResult {
+    /// The final deployment `D*`.
+    pub deployment: Deployment,
+    /// Analytic objective of `D*`.
+    pub objective: ObjectiveValue,
+    pub telemetry: Telemetry,
+}
+
+/// Run S3CA on an instance under budget `binv`.
+pub fn s3ca(graph: &CsrGraph, data: &NodeData, binv: f64, config: &S3caConfig) -> S3caResult {
+    let n = graph.node_count();
+    let mut explored = ExploreTracker::new(n);
+    let mut telemetry = Telemetry::default();
+
+    // Phase 1 — Investment Deployment.
+    let t0 = Instant::now();
+    let id = investment_deployment(graph, data, binv, &mut explored, config.max_id_iterations);
+    telemetry.id_micros = t0.elapsed().as_micros() as u64;
+    telemetry.id_iterations = id.iterations;
+
+    let mut deployment = id.deployment;
+    let mut value = id.objective;
+
+    // Line 24: pick D* among the candidate deployments by the paper's
+    // Monte-Carlo-estimated redemption rate. The analytic evaluator that
+    // drives the greedy loop is exact on forests but underestimates deep
+    // spreads on cyclic graphs; the MC re-ranking corrects the final choice
+    // at negligible cost (a handful of snapshot evaluations).
+    if config.snapshot_worlds > 0 && id.snapshots.len() > 1 {
+        let t_sel = Instant::now();
+        let cache =
+            osn_propagation::world::WorldCache::sample(graph, config.snapshot_worlds, config.rng_seed);
+        let ev = osn_propagation::MonteCarloEvaluator::new(graph, data, &cache);
+        let scored: Vec<(f64, f64, &Deployment, ObjectiveValue)> = id
+            .snapshots
+            .iter()
+            .filter_map(|snap| {
+                let analytic = objective::evaluate(graph, data, snap);
+                if !analytic.within_budget(binv) {
+                    return None;
+                }
+                let mc_benefit = ev.expected_benefit(&snap.seeds, &snap.coupons);
+                let cost = analytic.total_cost();
+                let rate = if cost > 0.0 { mc_benefit / cost } else { 0.0 };
+                Some((rate, cost, snap, analytic))
+            })
+            .collect();
+        let best_rate = scored.iter().fold(0.0f64, |a, &(r, ..)| a.max(r));
+        // Within the MC estimation tolerance (Lemma 2's ε) rates are
+        // indistinguishable; prefer the largest investment among the
+        // near-best snapshots so the deployment keeps growing with the
+        // budget (the paper's "total cost approximately equals Binv").
+        // 2% keeps exact small-instance optima (Fig. 1's 3.1 vs 2.99 gap
+        // is 3.5%) while still merging genuinely flat trajectories.
+        if let Some(&(_, _, snap, analytic)) = scored
+            .iter()
+            .filter(|&&(r, ..)| r >= best_rate * 0.98)
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("costs are finite"))
+        {
+            deployment = snap.clone();
+            value = analytic;
+        }
+        telemetry.id_micros += t_sel.elapsed().as_micros() as u64;
+    }
+
+    if config.enable_gpi && !deployment.seeds.is_empty() {
+        // Phase 2 — Guaranteed Paths Identification.
+        let t1 = Instant::now();
+        let forests = identify_guaranteed_paths(graph, data, &deployment, binv, &mut explored);
+        telemetry.gpi_micros = t1.elapsed().as_micros() as u64;
+        telemetry.gp_count = forests.iter().map(|f| f.paths.len()).sum();
+
+        if config.enable_scm {
+            // Phase 3 — SC Maneuver.
+            let t2 = Instant::now();
+            let (after, stats): (ObjectiveValue, ScmStats) = sc_maneuver(
+                graph,
+                data,
+                binv,
+                &mut deployment,
+                &forests,
+                config.max_scm_paths,
+            );
+            telemetry.scm_micros = t2.elapsed().as_micros() as u64;
+            telemetry.scm_paths_created = stats.paths_created;
+            telemetry.scm_coupons_moved = stats.coupons_moved;
+            value = after;
+        }
+    }
+
+    telemetry.explored_nodes = explored.count();
+    telemetry.explored_ratio = explored.ratio();
+
+    // The objective always reflects the returned deployment.
+    debug_assert!({
+        let check = objective::evaluate(graph, data, &deployment);
+        (check.rate - value.rate).abs() < 1e-9
+    });
+
+    S3caResult {
+        deployment,
+        objective: value,
+        telemetry,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_graph::{GraphBuilder, NodeId};
+
+    fn showcase() -> (CsrGraph, NodeData) {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 3, 0.9).unwrap();
+        b.add_edge(0, 1, 0.6).unwrap();
+        b.add_edge(1, 2, 0.5).unwrap();
+        b.add_edge(3, 4, 0.95).unwrap();
+        let mut sc = vec![100.0; 5];
+        sc[0] = 0.1;
+        (
+            b.build().unwrap(),
+            NodeData::new(vec![1.0, 1.0, 1.0, 1.0, 50.0], sc, vec![1.0; 5]).unwrap(),
+        )
+    }
+
+    #[test]
+    fn full_pipeline_beats_or_matches_id_only() {
+        let (g, d) = showcase();
+        let full = s3ca(&g, &d, 4.0, &S3caConfig::default());
+        let id_only = s3ca(&g, &d, 4.0, &S3caConfig::id_only());
+        assert!(full.objective.rate >= id_only.objective.rate - 1e-12);
+        assert!(full.objective.within_budget(4.0));
+    }
+
+    #[test]
+    fn finds_the_high_benefit_route() {
+        let (g, d) = showcase();
+        let r = s3ca(&g, &d, 4.0, &S3caConfig::default());
+        // The benefit-50 user sits behind v3; any good deployment funds it.
+        assert!(r.deployment.coupons[3] >= 1 || r.deployment.coupons[0] >= 1);
+        assert!(r.objective.rate > 1.0, "rate {}", r.objective.rate);
+    }
+
+    #[test]
+    fn telemetry_is_populated() {
+        let (g, d) = showcase();
+        let r = s3ca(&g, &d, 4.0, &S3caConfig::default());
+        assert!(r.telemetry.explored_nodes > 0);
+        assert!(r.telemetry.explored_ratio > 0.0 && r.telemetry.explored_ratio <= 1.0);
+        assert!(r.telemetry.id_iterations >= 1);
+        assert!(r.telemetry.gp_count > 0);
+    }
+
+    #[test]
+    fn zero_budget_returns_empty() {
+        let (g, d) = showcase();
+        let r = s3ca(&g, &d, 0.0, &S3caConfig::default());
+        assert!(r.deployment.seeds.is_empty());
+        assert_eq!(r.objective.rate, 0.0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (g, d) = showcase();
+        let a = s3ca(&g, &d, 4.0, &S3caConfig::default());
+        let b = s3ca(&g, &d, 4.0, &S3caConfig::default());
+        assert_eq!(a.deployment, b.deployment);
+        assert_eq!(a.objective, b.objective);
+    }
+
+    #[test]
+    fn seeds_hold_valid_ids() {
+        let (g, d) = showcase();
+        let r = s3ca(&g, &d, 4.0, &S3caConfig::default());
+        for &s in &r.deployment.seeds {
+            assert!(s.index() < g.node_count());
+            assert!(s != NodeId(4) || d.seed_cost(s) <= 4.0);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Barabási–Albert preferential attachment.
+//!
+//! Produces the pure power-law degree distribution characteristic of the
+//! social networks in the paper's Table II. Clustering is near zero; when a
+//! target clustering coefficient matters (the PPGG substitution), use
+//! [`powerlaw_cluster`](crate::powerlaw_cluster) instead.
+
+use crate::topology::UndirectedTopology;
+use rand::Rng;
+
+/// BA model: start from a clique on `m + 1` nodes, then attach each new node
+/// to `m` distinct existing nodes chosen proportionally to degree.
+///
+/// # Panics
+/// Panics if `n <= m` or `m == 0`.
+pub fn barabasi_albert<R: Rng>(n: usize, m: usize, rng: &mut R) -> UndirectedTopology {
+    assert!(m >= 1, "attachment count m must be positive");
+    assert!(n > m, "need more nodes than the attachment count");
+    let mut topo = UndirectedTopology::new(n);
+    // Repeated-endpoint list: each edge contributes both endpoints, so
+    // sampling a uniform element is degree-proportional sampling.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * m * n);
+
+    // Seed clique on m + 1 nodes.
+    for u in 0..=(m as u32) {
+        for v in (u + 1)..=(m as u32) {
+            topo.push(u, v);
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+
+    let mut chosen: Vec<u32> = Vec::with_capacity(m);
+    for new in (m as u32 + 1)..(n as u32) {
+        chosen.clear();
+        while chosen.len() < m {
+            let pick = endpoints[rng.gen_range(0..endpoints.len())];
+            if pick != new && !chosen.contains(&pick) {
+                chosen.push(pick);
+            }
+        }
+        for &t in &chosen {
+            topo.push(new, t);
+            endpoints.push(new);
+            endpoints.push(t);
+        }
+    }
+    topo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded_rng;
+
+    #[test]
+    fn edge_count_matches_formula() {
+        // clique(m+1) edges + m per additional node
+        let (n, m) = (200, 3);
+        let t = barabasi_albert(n, m, &mut seeded_rng(5));
+        let expected = m * (m + 1) / 2 + (n - m - 1) * m;
+        assert_eq!(t.edge_count(), expected);
+    }
+
+    #[test]
+    fn no_duplicate_edges() {
+        let t = barabasi_albert(300, 4, &mut seeded_rng(6));
+        let before = t.edge_count();
+        let mut t2 = t;
+        t2.dedup();
+        assert_eq!(t2.edge_count(), before);
+    }
+
+    #[test]
+    fn degree_distribution_is_heavy_tailed() {
+        let t = barabasi_albert(2000, 2, &mut seeded_rng(7));
+        let deg = t.degrees();
+        let max = *deg.iter().max().unwrap();
+        let mean = deg.iter().map(|&d| d as f64).sum::<f64>() / deg.len() as f64;
+        // A hub should greatly exceed the mean degree (~2m = 4).
+        assert!(
+            max as f64 > 8.0 * mean,
+            "max degree {max} not hub-like vs mean {mean}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = barabasi_albert(100, 2, &mut seeded_rng(8));
+        let b = barabasi_albert(100, 2, &mut seeded_rng(8));
+        assert_eq!(a.edges, b.edges);
+    }
+
+    #[test]
+    #[should_panic(expected = "more nodes")]
+    fn rejects_tiny_n() {
+        barabasi_albert(3, 3, &mut seeded_rng(1));
+    }
+}

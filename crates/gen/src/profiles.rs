@@ -1,0 +1,251 @@
+//! Dataset-shaped profiles replicating the paper's Table II.
+//!
+//! | Dataset  | Nodes | Edges  | Binv | µ, σ     |
+//! |----------|-------|--------|------|----------|
+//! | Facebook | 4K    | 88K    | 10K  | 10, 2    |
+//! | Epinions | 76K   | 509K   | 50K  | 20, 4    |
+//! | Google+  | 108K  | 13.7M  | 200K | 50, 10   |
+//! | Douban   | 5.5M  | 86M    | 1M   | 100, 20  |
+//!
+//! The real datasets are not redistributable (see `DESIGN.md`,
+//! *Substitutions*); each profile generates a Holme–Kim power-law-cluster
+//! graph whose node count, average degree and reciprocity match the real
+//! network, with influence probabilities `1/in-degree` and the standard
+//! Sec. VI-A workload. A `scale ∈ (0, 1]` knob shrinks node counts (and
+//! `Binv` proportionally) so benches stay laptop-sized.
+
+use crate::attrs::standard_workload;
+use crate::powerlaw_cluster::powerlaw_cluster;
+use crate::seeded_rng;
+use crate::weights::{assign_weights, WeightModel};
+use osn_graph::{CsrGraph, GraphError, NodeData};
+use serde::{Deserialize, Serialize};
+
+/// A Table-II dataset profile.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DatasetProfile {
+    /// SNAP ego-Facebook: 4K nodes, 88K undirected edges, mutual friendships.
+    Facebook,
+    /// SNAP soc-Epinions1: 76K nodes, 509K directed trust edges.
+    Epinions,
+    /// SNAP ego-Gplus: 108K nodes, 13.7M directed edges (dense).
+    GooglePlus,
+    /// Douban (KDD-16 [29]): 5.5M nodes, 86M edges.
+    Douban,
+}
+
+/// A generated instance: graph, workload attributes, default budget.
+#[derive(Clone, Debug)]
+pub struct GeneratedInstance {
+    pub graph: CsrGraph,
+    pub data: NodeData,
+    /// Table II `Binv`, scaled with the node count.
+    pub budget: f64,
+    pub profile: DatasetProfile,
+}
+
+impl DatasetProfile {
+    /// All four profiles, in Table II order.
+    pub const ALL: [DatasetProfile; 4] = [
+        DatasetProfile::Facebook,
+        DatasetProfile::Epinions,
+        DatasetProfile::GooglePlus,
+        DatasetProfile::Douban,
+    ];
+
+    /// Human-readable dataset name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetProfile::Facebook => "Facebook",
+            DatasetProfile::Epinions => "Epinions",
+            DatasetProfile::GooglePlus => "Google+",
+            DatasetProfile::Douban => "Douban",
+        }
+    }
+
+    /// Full-scale node count (Table II).
+    pub fn nodes(self) -> usize {
+        match self {
+            DatasetProfile::Facebook => 4_000,
+            DatasetProfile::Epinions => 76_000,
+            DatasetProfile::GooglePlus => 108_000,
+            DatasetProfile::Douban => 5_500_000,
+        }
+    }
+
+    /// Full-scale directed edge count (Table II; Facebook's 88K undirected
+    /// edges count twice in the directed view).
+    pub fn directed_edges(self) -> usize {
+        match self {
+            DatasetProfile::Facebook => 176_000,
+            DatasetProfile::Epinions => 509_000,
+            DatasetProfile::GooglePlus => 13_700_000,
+            DatasetProfile::Douban => 86_000_000,
+        }
+    }
+
+    /// Full-scale default investment budget (Table II).
+    pub fn default_budget(self) -> f64 {
+        match self {
+            DatasetProfile::Facebook => 10_000.0,
+            DatasetProfile::Epinions => 50_000.0,
+            DatasetProfile::GooglePlus => 200_000.0,
+            DatasetProfile::Douban => 1_000_000.0,
+        }
+    }
+
+    /// Benefit distribution (µ, σ) from Table II.
+    pub fn benefit_params(self) -> (f64, f64) {
+        match self {
+            DatasetProfile::Facebook => (10.0, 2.0),
+            DatasetProfile::Epinions => (20.0, 4.0),
+            DatasetProfile::GooglePlus => (50.0, 10.0),
+            DatasetProfile::Douban => (100.0, 20.0),
+        }
+    }
+
+    /// Fraction of undirected edges emitted in both directions.
+    fn reciprocity(self) -> f64 {
+        match self {
+            DatasetProfile::Facebook => 1.0, // friendships are mutual
+            DatasetProfile::Epinions => 0.4, // trust is mostly one-way
+            DatasetProfile::GooglePlus => 0.3,
+            DatasetProfile::Douban => 0.5,
+        }
+    }
+
+    /// Holme–Kim triad-formation probability; Facebook is famously clustered
+    /// (≈ 0.61 in SNAP), follower graphs much less so.
+    fn triad_prob(self) -> f64 {
+        match self {
+            DatasetProfile::Facebook => 0.9,
+            DatasetProfile::Epinions => 0.3,
+            DatasetProfile::GooglePlus => 0.4,
+            DatasetProfile::Douban => 0.3,
+        }
+    }
+
+    /// Attachment count `m` so the directed edge count matches Table II at
+    /// full scale: directed_edges ≈ n·m·(1 + reciprocity). Below full scale
+    /// the degree shrinks with √scale — keeping the *absolute* degree on a
+    /// small node count would make the sample far denser than the real
+    /// network (a 240-node "Facebook" with degree 44 is 17× denser than the
+    /// 4K-node original), distorting every structural driver the
+    /// experiments depend on. √scale splits the distortion between degree
+    /// and density.
+    fn attachment(self, scale: f64) -> usize {
+        let per_node = self.directed_edges() as f64
+            / (self.nodes() as f64 * (1.0 + self.reciprocity()));
+        ((per_node * scale.sqrt()).round() as usize).max(2)
+    }
+
+    /// Generate a scaled instance. `scale` shrinks the node count and the
+    /// budget together; `seed` fixes all randomness.
+    pub fn generate(self, scale: f64, seed: u64) -> Result<GeneratedInstance, GraphError> {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must lie in (0, 1]");
+        let m = self.attachment(scale);
+        let n = ((self.nodes() as f64 * scale).round() as usize).max(m + 2);
+        let mut rng = seeded_rng(seed);
+        let topo = powerlaw_cluster(n, m, self.triad_prob(), &mut rng);
+        let mut builder = topo.into_directed(self.reciprocity(), &mut rng)?;
+        assign_weights(&mut builder, WeightModel::InverseInDegree, &mut rng);
+        let graph = builder.build()?;
+        let (mu, sigma) = self.benefit_params();
+        let data = standard_workload(&graph, mu, sigma, 1.0, 10.0, &mut rng)?;
+        // Budget scales with the node count, but per-user prices do not
+        // (κ/λ keep the cost-to-benefit ratios scale-invariant); floor the
+        // budget at ~25 average seed costs so aggressively scaled-down
+        // instances can still afford a meaningful deployment.
+        let avg_seed = data.total_seed_cost() / n as f64;
+        let budget = (self.default_budget() * scale).max(25.0 * avg_seed);
+        Ok(GeneratedInstance {
+            graph,
+            data,
+            budget,
+            profile: self,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::{kappa_of, lambda_of};
+
+    #[test]
+    fn facebook_scaled_instance_matches_shape() {
+        let inst = DatasetProfile::Facebook.generate(0.25, 42).unwrap();
+        let n = inst.graph.node_count();
+        assert_eq!(n, 1000);
+        // Full-scale directed degree is 176K/4K = 44; at scale 0.25 the
+        // density-aware attachment targets 44·√0.25 = 22.
+        let mean_deg = inst.graph.edge_count() as f64 / n as f64;
+        assert!(
+            (mean_deg - 22.0).abs() < 6.0,
+            "mean degree {mean_deg} too far from the √scale target 22"
+        );
+        // Budget: scale times the Table II default, floored at 25 average
+        // seed costs (here avg seed cost = κ·µ = 100 → the floor and the
+        // scaled default coincide at 2 500).
+        assert!((inst.budget - 2_500.0).abs() < 300.0, "budget {}", inst.budget);
+    }
+
+    #[test]
+    fn full_scale_keeps_table_ii_degree() {
+        let inst = DatasetProfile::Facebook.generate(1.0, 42).unwrap();
+        let mean_deg = inst.graph.edge_count() as f64 / inst.graph.node_count() as f64;
+        assert!(
+            (mean_deg - 44.0).abs() < 10.0,
+            "full-scale mean degree {mean_deg} should match Table II's 44"
+        );
+    }
+
+    #[test]
+    fn tiny_scale_budget_floor_buys_seeds() {
+        let inst = DatasetProfile::Douban.generate(0.0004, 3).unwrap();
+        // 25 average seed costs (κ·µ = 1000) → ≈ 25 000, far above the
+        // naively scaled 400.
+        assert!(inst.budget >= 20_000.0, "budget {} below floor", inst.budget);
+    }
+
+    #[test]
+    fn workload_is_calibrated() {
+        let inst = DatasetProfile::Facebook.generate(0.1, 7).unwrap();
+        assert!((lambda_of(&inst.data) - 1.0).abs() < 1e-9);
+        assert!((kappa_of(&inst.data) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn probabilities_are_inverse_in_degree() {
+        let inst = DatasetProfile::Epinions.generate(0.01, 9).unwrap();
+        let g = &inst.graph;
+        for u in g.nodes().take(50) {
+            for (v, p) in g.ranked_out(u) {
+                let expect = 1.0 / g.in_degree(v) as f64;
+                assert!((p - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = DatasetProfile::Facebook.generate(0.05, 3).unwrap();
+        let b = DatasetProfile::Facebook.generate(0.05, 3).unwrap();
+        assert_eq!(a.graph.edge_count(), b.graph.edge_count());
+        assert_eq!(a.data, b.data);
+    }
+
+    #[test]
+    fn all_profiles_have_table_ii_budgets() {
+        let budgets: Vec<f64> = DatasetProfile::ALL
+            .iter()
+            .map(|p| p.default_budget())
+            .collect();
+        assert_eq!(budgets, vec![10_000.0, 50_000.0, 200_000.0, 1_000_000.0]);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(DatasetProfile::GooglePlus.name(), "Google+");
+    }
+}

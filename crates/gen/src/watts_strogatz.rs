@@ -1,0 +1,116 @@
+//! Watts–Strogatz small-world model.
+//!
+//! A structure-sensitivity control: high clustering with short path lengths
+//! but a *homogeneous* degree distribution, the opposite regime from the
+//! power-law profiles. Useful for checking that S3CA's advantage does not
+//! hinge on hubs.
+
+use crate::topology::UndirectedTopology;
+use rand::Rng;
+
+/// WS model: ring of `n` nodes each connected to its `k` nearest neighbors
+/// (`k` even), every edge rewired with probability `beta` to a uniformly
+/// random non-duplicate target.
+///
+/// # Panics
+/// Panics if `k` is odd, `k >= n`, or `beta ∉ [0, 1]`.
+pub fn watts_strogatz<R: Rng>(n: usize, k: usize, beta: f64, rng: &mut R) -> UndirectedTopology {
+    assert!(k % 2 == 0, "ring degree k must be even");
+    assert!(k < n, "ring degree must be below the node count");
+    assert!((0.0..=1.0).contains(&beta), "beta must lie in [0, 1]");
+    let mut topo = UndirectedTopology::new(n);
+    let mut adj: Vec<std::collections::HashSet<u32>> =
+        vec![std::collections::HashSet::new(); n];
+
+    let connect = |adj: &mut Vec<std::collections::HashSet<u32>>, u: u32, v: u32| {
+        adj[u as usize].insert(v);
+        adj[v as usize].insert(u);
+    };
+
+    // Ring lattice.
+    for u in 0..n as u32 {
+        for offset in 1..=(k / 2) as u32 {
+            let v = (u + offset) % n as u32;
+            connect(&mut adj, u, v);
+        }
+    }
+    // Rewire: iterate lattice edges (u, u+offset); with probability beta
+    // replace the far endpoint.
+    for u in 0..n as u32 {
+        for offset in 1..=(k / 2) as u32 {
+            let v = (u + offset) % n as u32;
+            if rng.gen_bool(beta) {
+                // Remove and pick a fresh target avoiding self/duplicates.
+                if adj[u as usize].len() >= n - 1 {
+                    continue; // saturated; nothing to rewire to
+                }
+                adj[u as usize].remove(&v);
+                adj[v as usize].remove(&u);
+                let w = loop {
+                    let cand = rng.gen_range(0..n as u32);
+                    if cand != u && !adj[u as usize].contains(&cand) {
+                        break cand;
+                    }
+                };
+                connect(&mut adj, u, w);
+            }
+        }
+    }
+    for (u, nbrs) in adj.iter().enumerate() {
+        for &v in nbrs {
+            if (u as u32) < v {
+                topo.push(u as u32, v);
+            }
+        }
+    }
+    topo.dedup();
+    topo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded_rng;
+    use osn_graph::stats::clustering_coefficient;
+
+    #[test]
+    fn zero_beta_is_the_ring_lattice() {
+        let t = watts_strogatz(20, 4, 0.0, &mut seeded_rng(1));
+        assert_eq!(t.edge_count(), 20 * 4 / 2);
+        let deg = t.degrees();
+        assert!(deg.iter().all(|&d| d == 4));
+    }
+
+    #[test]
+    fn edge_count_is_preserved_under_rewiring() {
+        let t = watts_strogatz(100, 6, 0.3, &mut seeded_rng(2));
+        assert_eq!(t.edge_count(), 100 * 6 / 2);
+    }
+
+    #[test]
+    fn rewiring_reduces_clustering() {
+        let build = |beta: f64| {
+            let t = watts_strogatz(200, 8, beta, &mut seeded_rng(3));
+            t.into_directed(1.0, &mut seeded_rng(4)).unwrap().build().unwrap()
+        };
+        let lattice = clustering_coefficient(&build(0.0));
+        let random = clustering_coefficient(&build(1.0));
+        assert!(
+            lattice > random + 0.1,
+            "lattice clustering {lattice} should exceed randomized {random}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = watts_strogatz(60, 4, 0.2, &mut seeded_rng(5));
+        let b = watts_strogatz(60, 4, 0.2, &mut seeded_rng(5));
+        assert_eq!(a.edges, b.edges);
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_k_is_rejected() {
+        watts_strogatz(10, 3, 0.1, &mut seeded_rng(1));
+    }
+}

@@ -1,0 +1,194 @@
+//! Connected components.
+//!
+//! Weakly connected components validate synthetic profiles (real social
+//! graphs are dominated by one giant component); strongly connected
+//! components (iterative Kosaraju) support structural analysis of the
+//! directed influence topology — e.g. bounding how far a single seed's
+//! spread can possibly reach.
+
+use crate::csr::CsrGraph;
+use crate::ids::NodeId;
+
+/// Component labelling: `label[v]` ∈ `0..count`, components numbered in
+/// discovery order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Components {
+    pub label: Vec<u32>,
+    pub count: u32,
+}
+
+impl Components {
+    /// Size of every component.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.count as usize];
+        for &l in &self.label {
+            sizes[l as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Size of the largest component (0 for an empty graph).
+    pub fn giant_size(&self) -> usize {
+        self.sizes().into_iter().max().unwrap_or(0)
+    }
+
+    /// Whether `u` and `v` share a component.
+    pub fn same(&self, u: NodeId, v: NodeId) -> bool {
+        self.label[u.index()] == self.label[v.index()]
+    }
+}
+
+/// Weakly connected components (edges treated as undirected).
+pub fn weakly_connected_components(graph: &CsrGraph) -> Components {
+    let n = graph.node_count();
+    let mut label = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut stack: Vec<NodeId> = Vec::new();
+    for start in graph.nodes() {
+        if label[start.index()] != u32::MAX {
+            continue;
+        }
+        label[start.index()] = count;
+        stack.push(start);
+        while let Some(u) = stack.pop() {
+            for &v in graph.out_targets(u) {
+                if label[v.index()] == u32::MAX {
+                    label[v.index()] = count;
+                    stack.push(v);
+                }
+            }
+            for &v in graph.in_sources(u) {
+                if label[v.index()] == u32::MAX {
+                    label[v.index()] = count;
+                    stack.push(v);
+                }
+            }
+        }
+        count += 1;
+    }
+    Components { label, count }
+}
+
+/// Strongly connected components via iterative Kosaraju (two passes; no
+/// recursion, so deep chains cannot overflow the stack).
+pub fn strongly_connected_components(graph: &CsrGraph) -> Components {
+    let n = graph.node_count();
+    // Pass 1: finish order on the forward graph.
+    let mut visited = vec![false; n];
+    let mut finish: Vec<NodeId> = Vec::with_capacity(n);
+    // Frame: (node, next child index).
+    let mut stack: Vec<(NodeId, usize)> = Vec::new();
+    for start in graph.nodes() {
+        if visited[start.index()] {
+            continue;
+        }
+        visited[start.index()] = true;
+        stack.push((start, 0));
+        while let Some(&mut (u, ref mut i)) = stack.last_mut() {
+            let targets = graph.out_targets(u);
+            if *i < targets.len() {
+                let v = targets[*i];
+                *i += 1;
+                if !visited[v.index()] {
+                    visited[v.index()] = true;
+                    stack.push((v, 0));
+                }
+            } else {
+                finish.push(u);
+                stack.pop();
+            }
+        }
+    }
+    // Pass 2: reverse-graph DFS in reverse finish order.
+    let mut label = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut work: Vec<NodeId> = Vec::new();
+    for &start in finish.iter().rev() {
+        if label[start.index()] != u32::MAX {
+            continue;
+        }
+        label[start.index()] = count;
+        work.push(start);
+        while let Some(u) = work.pop() {
+            for &v in graph.in_sources(u) {
+                if label[v.index()] == u32::MAX {
+                    label[v.index()] = count;
+                    work.push(v);
+                }
+            }
+        }
+        count += 1;
+    }
+    Components { label, count }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn two_cycles_and_bridge() -> CsrGraph {
+        // SCCs: {0,1,2} (cycle), {3,4} (cycle), bridge 2 -> 3; node 5 alone.
+        let mut b = GraphBuilder::new(6);
+        for (u, v) in [(0, 1), (1, 2), (2, 0), (3, 4), (4, 3), (2, 3)] {
+            b.add_edge(u, v, 0.5).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn scc_finds_cycles() {
+        let g = two_cycles_and_bridge();
+        let c = strongly_connected_components(&g);
+        assert_eq!(c.count, 3);
+        assert!(c.same(NodeId(0), NodeId(2)));
+        assert!(c.same(NodeId(3), NodeId(4)));
+        assert!(!c.same(NodeId(0), NodeId(3)));
+        assert!(!c.same(NodeId(5), NodeId(0)));
+        let mut sizes = c.sizes();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn wcc_merges_across_direction() {
+        let g = two_cycles_and_bridge();
+        let c = weakly_connected_components(&g);
+        assert_eq!(c.count, 2);
+        assert!(c.same(NodeId(0), NodeId(4)));
+        assert!(!c.same(NodeId(0), NodeId(5)));
+        assert_eq!(c.giant_size(), 5);
+    }
+
+    #[test]
+    fn dag_has_singleton_sccs() {
+        let mut b = GraphBuilder::new(4);
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (0, 2)] {
+            b.add_edge(u, v, 0.5).unwrap();
+        }
+        let g = b.build().unwrap();
+        let c = strongly_connected_components(&g);
+        assert_eq!(c.count, 4);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        let n = 100_000;
+        let mut b = GraphBuilder::new(n);
+        for i in 0..(n as u32 - 1) {
+            b.add_edge(i, i + 1, 0.5).unwrap();
+        }
+        let g = b.build().unwrap();
+        let c = strongly_connected_components(&g);
+        assert_eq!(c.count as usize, n);
+        let w = weakly_connected_components(&g);
+        assert_eq!(w.count, 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build().unwrap();
+        assert_eq!(strongly_connected_components(&g).count, 0);
+        assert_eq!(weakly_connected_components(&g).giant_size(), 0);
+    }
+}

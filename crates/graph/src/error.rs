@@ -1,0 +1,98 @@
+//! Error type shared by graph construction and I/O.
+
+use std::fmt;
+
+/// Errors raised while building, validating, or reading a graph.
+#[derive(Debug)]
+pub enum GraphError {
+    /// An edge endpoint was `>= n`.
+    NodeOutOfRange { node: u32, n: u32 },
+    /// An influence probability was outside `[0, 1]` or not finite.
+    InvalidProbability { source: u32, target: u32, p: f64 },
+    /// A self-loop was supplied; the propagation model has no use for them.
+    SelfLoop { node: u32 },
+    /// An attribute array's length did not match the node count.
+    AttributeLengthMismatch { expected: usize, got: usize },
+    /// A node attribute (benefit/cost) was negative or not finite.
+    InvalidAttribute {
+        node: u32,
+        name: &'static str,
+        value: f64,
+    },
+    /// Edge-list parse failure.
+    Parse { line: usize, message: String },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node v{node} out of range for graph with {n} nodes")
+            }
+            GraphError::InvalidProbability { source, target, p } => {
+                write!(
+                    f,
+                    "edge (v{source}, v{target}) has invalid influence probability {p}"
+                )
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop on v{node} is not allowed"),
+            GraphError::AttributeLengthMismatch { expected, got } => {
+                write!(f, "attribute array has {got} entries, expected {expected}")
+            }
+            GraphError::InvalidAttribute { node, name, value } => {
+                write!(f, "node v{node} has invalid {name} = {value}")
+            }
+            GraphError::Parse { line, message } => {
+                write!(f, "edge-list parse error on line {line}: {message}")
+            }
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::NodeOutOfRange { node: 9, n: 5 };
+        assert!(e.to_string().contains("v9"));
+        let e = GraphError::InvalidProbability {
+            source: 1,
+            target: 2,
+            p: 1.5,
+        };
+        assert!(e.to_string().contains("1.5"));
+        let e = GraphError::Parse {
+            line: 3,
+            message: "bad".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn io_error_source_is_preserved() {
+        use std::error::Error;
+        let inner = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let e = GraphError::from(inner);
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,151 @@
+//! Plain-text edge-list I/O.
+//!
+//! The paper evaluates on SNAP-format datasets (`u v` per line) that are not
+//! redistributable here; this module lets a user drop the real files in and
+//! run the same experiments. Lines starting with `#` are comments (SNAP
+//! convention). An optional third column carries an explicit influence
+//! probability; otherwise probabilities default to 0 and are expected to be
+//! assigned by a weight model (e.g. `osn-gen`'s inverse-in-degree).
+
+use crate::builder::GraphBuilder;
+use crate::error::GraphError;
+use std::io::{BufRead, Write};
+
+/// A parsed edge list: endpoints with optional explicit probabilities.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EdgeList {
+    /// `(source, target, probability)`; probability is 0.0 when the file did
+    /// not carry one.
+    pub edges: Vec<(u32, u32, f64)>,
+    /// `1 + max node id` seen; 0 for an empty list.
+    pub node_count: usize,
+}
+
+impl EdgeList {
+    /// Convert into a [`GraphBuilder`] covering `max(node_count, n_hint)`
+    /// nodes.
+    pub fn into_builder(self, n_hint: usize) -> Result<GraphBuilder, GraphError> {
+        let n = self.node_count.max(n_hint);
+        let mut b = GraphBuilder::with_capacity(n, self.edges.len());
+        for (u, v, p) in self.edges {
+            if u == v {
+                continue; // SNAP files occasionally contain self-loops; drop them.
+            }
+            b.add_edge(u, v, p)?;
+        }
+        Ok(b)
+    }
+}
+
+/// Read a SNAP-style edge list.
+pub fn read_edge_list<R: BufRead>(reader: R) -> Result<EdgeList, GraphError> {
+    let mut edges = Vec::new();
+    let mut max_id: Option<u32> = None;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let u = parse_field(parts.next(), lineno + 1, "source")?;
+        let v = parse_field(parts.next(), lineno + 1, "target")?;
+        let p = match parts.next() {
+            Some(tok) => tok.parse::<f64>().map_err(|e| GraphError::Parse {
+                line: lineno + 1,
+                message: format!("bad probability {tok:?}: {e}"),
+            })?,
+            None => 0.0,
+        };
+        max_id = Some(max_id.map_or(u.max(v), |m| m.max(u).max(v)));
+        edges.push((u, v, p));
+    }
+    Ok(EdgeList {
+        edges,
+        node_count: max_id.map_or(0, |m| m as usize + 1),
+    })
+}
+
+fn parse_field(tok: Option<&str>, line: usize, what: &str) -> Result<u32, GraphError> {
+    let tok = tok.ok_or_else(|| GraphError::Parse {
+        line,
+        message: format!("missing {what} column"),
+    })?;
+    tok.parse::<u32>().map_err(|e| GraphError::Parse {
+        line,
+        message: format!("bad {what} {tok:?}: {e}"),
+    })
+}
+
+/// Write a graph as an edge list with probabilities (three columns).
+pub fn write_edge_list<W: Write>(
+    graph: &crate::CsrGraph,
+    mut writer: W,
+) -> Result<(), GraphError> {
+    writeln!(writer, "# s3crm edge list: source target probability")?;
+    for u in graph.nodes() {
+        for (v, p) in graph.ranked_out(u) {
+            writeln!(writer, "{} {} {}", u.0, v.0, p)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+
+    #[test]
+    fn parses_snap_style_file() {
+        let text = "# comment\n0 1\n1 2 0.25\n\n2 0\n";
+        let el = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(el.node_count, 3);
+        assert_eq!(el.edges.len(), 3);
+        assert_eq!(el.edges[1], (1, 2, 0.25));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(read_edge_list("0\n".as_bytes()).is_err());
+        assert!(read_edge_list("a b\n".as_bytes()).is_err());
+        assert!(read_edge_list("0 1 xyz\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn empty_input_is_empty_list() {
+        let el = read_edge_list("# nothing\n".as_bytes()).unwrap();
+        assert_eq!(el.node_count, 0);
+        assert!(el.edges.is_empty());
+    }
+
+    #[test]
+    fn builder_roundtrip_drops_self_loops() {
+        let text = "0 0 0.5\n0 1 0.5\n";
+        let el = read_edge_list(text.as_bytes()).unwrap();
+        let g = el.into_builder(0).unwrap().build().unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut b = GraphBuilder::with_capacity(3, 2);
+        b.add_edge(0, 1, 0.75).unwrap();
+        b.add_edge(1, 2, 0.5).unwrap();
+        let g = b.build().unwrap();
+
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let el = read_edge_list(buf.as_slice()).unwrap();
+        let g2 = el.into_builder(0).unwrap().build().unwrap();
+        assert_eq!(g2.edge_count(), 2);
+        assert_eq!(g2.edge_prob(NodeId(0), NodeId(1)), Some(0.75));
+    }
+
+    #[test]
+    fn n_hint_extends_node_count() {
+        let el = read_edge_list("0 1\n".as_bytes()).unwrap();
+        let g = el.into_builder(10).unwrap().build().unwrap();
+        assert_eq!(g.node_count(), 10);
+    }
+}

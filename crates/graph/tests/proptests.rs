@@ -1,0 +1,122 @@
+//! Property-based tests of the CSR substrate: invariants that must hold
+//! for every edge multiset a builder can accept.
+
+use osn_graph::traversal::{bfs_hops, UNREACHED};
+use osn_graph::{GraphBuilder, NodeId};
+use proptest::prelude::*;
+
+fn edges_strategy() -> impl Strategy<Value = (usize, Vec<(u32, u32, f64)>)> {
+    (2usize..24).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32, 0.0f64..=1.0f64);
+        (Just(n), proptest::collection::vec(edge, 0..80))
+    })
+}
+
+fn build(n: usize, edges: &[(u32, u32, f64)]) -> osn_graph::CsrGraph {
+    let mut b = GraphBuilder::new(n);
+    for &(u, v, p) in edges {
+        if u != v {
+            b.add_edge(u, v, p).unwrap();
+        }
+    }
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn adjacency_is_rank_sorted((n, edges) in edges_strategy()) {
+        let g = build(n, &edges);
+        for v in g.nodes() {
+            let probs = g.out_probs(v);
+            for w in probs.windows(2) {
+                prop_assert!(w[0] >= w[1], "rank order violated at {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn degree_sums_are_consistent((n, edges) in edges_strategy()) {
+        let g = build(n, &edges);
+        let out: usize = g.nodes().map(|v| g.out_degree(v)).sum();
+        let inn: usize = g.nodes().map(|v| g.in_degree(v)).sum();
+        prop_assert_eq!(out, g.edge_count());
+        prop_assert_eq!(inn, g.edge_count());
+    }
+
+    #[test]
+    fn forward_and_reverse_adjacency_agree((n, edges) in edges_strategy()) {
+        let g = build(n, &edges);
+        for u in g.nodes() {
+            for (v, p) in g.ranked_out(u) {
+                prop_assert!(g.in_sources(v).contains(&u));
+                // The reverse list carries the same probability.
+                let found = g
+                    .ranked_in(v)
+                    .any(|(src, rp)| src == u && (rp - p).abs() < 1e-15);
+                prop_assert!(found, "reverse probability mismatch on ({u}, {v})");
+            }
+        }
+    }
+
+    #[test]
+    fn dedup_keeps_last_probability(n in 2usize..10, p1 in 0.0f64..=1.0, p2 in 0.0f64..=1.0) {
+        let mut b = GraphBuilder::new(n);
+        b.add_edge(0, 1, p1).unwrap();
+        b.add_edge(0, 1, p2).unwrap();
+        let g = b.build().unwrap();
+        prop_assert_eq!(g.edge_count(), 1);
+        let got = g.edge_prob(NodeId(0), NodeId(1)).unwrap();
+        prop_assert!((got - p2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn bfs_distances_are_metric((n, edges) in edges_strategy()) {
+        // d(u, w) ≤ d(u, v) + 1 for every edge (v, w).
+        let g = build(n, &edges);
+        let d = bfs_hops(&g, &[NodeId(0)]);
+        for v in g.nodes() {
+            if d[v.index()] == UNREACHED {
+                continue;
+            }
+            for &w in g.out_targets(v) {
+                prop_assert!(d[w.index()] != UNREACHED);
+                prop_assert!(d[w.index()] <= d[v.index()] + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn edge_ids_cover_every_edge_once((n, edges) in edges_strategy()) {
+        let g = build(n, &edges);
+        let mut seen = vec![false; g.edge_count()];
+        for v in g.nodes() {
+            for e in g.out_edge_ids(v) {
+                prop_assert!(!seen[e as usize], "edge id {e} assigned twice");
+                seen[e as usize] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn io_roundtrip_preserves_the_graph((n, edges) in edges_strategy()) {
+        let g = build(n, &edges);
+        let mut buf = Vec::new();
+        osn_graph::io::write_edge_list(&g, &mut buf).unwrap();
+        let back = osn_graph::io::read_edge_list(buf.as_slice())
+            .unwrap()
+            .into_builder(n)
+            .unwrap()
+            .build()
+            .unwrap();
+        prop_assert_eq!(back.edge_count(), g.edge_count());
+        for u in g.nodes() {
+            for (v, p) in g.ranked_out(u) {
+                let q = back.edge_prob(u, v).unwrap();
+                prop_assert!((p - q).abs() < 1e-12);
+            }
+        }
+    }
+}

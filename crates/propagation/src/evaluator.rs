@@ -1,0 +1,63 @@
+//! Common benefit-evaluator interface.
+//!
+//! Two implementations back the Lemma 2 estimation story:
+//! [`AnalyticEvaluator`] (closed form; exact on forests) and
+//! [`MonteCarloEvaluator`](crate::monte_carlo::MonteCarloEvaluator)
+//! (`(1−ε)`-accurate sampling over a world cache). The ablation bench
+//! `ablation_evaluator` measures the trade-off between them.
+
+use crate::spread::SpreadState;
+use osn_graph::{CsrGraph, NodeData, NodeId};
+
+/// Anything that can estimate the expected benefit `B(S, K(I))`.
+pub trait BenefitEvaluator {
+    /// Expected total benefit of the deployment.
+    fn expected_benefit(&self, seeds: &[NodeId], coupons: &[u32]) -> f64;
+
+    /// Per-node activation probability estimates.
+    fn activation_probabilities(&self, seeds: &[NodeId], coupons: &[u32]) -> Vec<f64>;
+}
+
+/// Closed-form evaluator (see [`spread`](crate::spread)).
+pub struct AnalyticEvaluator<'a> {
+    graph: &'a CsrGraph,
+    data: &'a NodeData,
+}
+
+impl<'a> AnalyticEvaluator<'a> {
+    /// Evaluator over a fixed instance.
+    pub fn new(graph: &'a CsrGraph, data: &'a NodeData) -> Self {
+        AnalyticEvaluator { graph, data }
+    }
+}
+
+impl BenefitEvaluator for AnalyticEvaluator<'_> {
+    fn expected_benefit(&self, seeds: &[NodeId], coupons: &[u32]) -> f64 {
+        SpreadState::evaluate(self.graph, self.data, seeds, coupons).expected_benefit
+    }
+
+    fn activation_probabilities(&self, seeds: &[NodeId], coupons: &[u32]) -> Vec<f64> {
+        SpreadState::evaluate(self.graph, self.data, seeds, coupons).active_prob
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_graph::GraphBuilder;
+
+    #[test]
+    fn analytic_evaluator_on_singleton() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 0.5).unwrap();
+        let g = b.build().unwrap();
+        let d = NodeData::uniform(2, 2.0, 1.0, 1.0);
+        let ev = AnalyticEvaluator::new(&g, &d);
+        // No coupons: only the seed's benefit.
+        assert_eq!(ev.expected_benefit(&[NodeId(0)], &[0, 0]), 2.0);
+        // One coupon: + 0.5 · 2.
+        assert_eq!(ev.expected_benefit(&[NodeId(0)], &[1, 0]), 3.0);
+        let p = ev.activation_probabilities(&[NodeId(0)], &[1, 0]);
+        assert_eq!(p, vec![1.0, 0.5]);
+    }
+}

@@ -1,0 +1,57 @@
+//! # osn-propagation
+//!
+//! Coupon-constrained independent-cascade propagation engine for the S3CRM
+//! reproduction (Chang et al., ICDE 2019).
+//!
+//! ## The model (paper Sec. III, made precise)
+//!
+//! The paper extends the independent-cascade (IC) model with a per-user
+//! **SC constraint** `k_i`: an active user `v_i` attempts its out-neighbors
+//! in *descending influence-probability order*; each attempt on an inactive
+//! neighbor succeeds with the edge probability and **consumes one coupon**;
+//! after `k_i` successful redemptions `v_i` stops. Attempts on already-active
+//! neighbors are skipped without consuming a coupon (this is what the paper's
+//! Fig. 1(c) arithmetic implies — see `DESIGN.md`). An edge whose rank
+//! exceeds the remaining coupons is the paper's *dependent edge*: it can only
+//! fire if enough earlier-ranked attempts failed.
+//!
+//! ## What lives here
+//!
+//! * [`rank`] — the coupon-availability DP: exact per-rank redemption
+//!   probabilities `q_j = P(e_j) · Pr[fewer than k earlier redemptions]`,
+//!   which is the paper's `P(e(i,j))·P(k̄_i)` in closed form.
+//! * [`cascade`] — one stochastic cascade (fresh coin flips), used for hop
+//!   statistics and as ground truth in tests.
+//! * [`world`] / [`reach`] — pre-sampled live-edge **worlds** (the paper's
+//!   "tosses a coin for each edge ... to generate a graph") and the
+//!   deterministic coupon-constrained reachability inside one world.
+//! * [`spread`] — the analytic evaluator: exact expected benefit on forests
+//!   (all of the paper's worked examples), a documented independent-parent
+//!   approximation elsewhere; exposes the incremental quantities S3CA's
+//!   marginal-redemption loop needs.
+//! * [`cost`] — the paper's expected-SC-cost `Csc(K(I))` (local per internal
+//!   node, Table I) and seed cost.
+//! * [`evaluator`] / [`monte_carlo`] — a common benefit-evaluator interface
+//!   with analytic and (crossbeam-parallel) Monte-Carlo implementations.
+//! * [`metrics`] — the reported quantities of Sec. VI: redemption rate,
+//!   total benefit, seed–SC rate, average farthest hop.
+
+pub mod bits;
+pub mod cascade;
+pub mod cost;
+pub mod evaluator;
+pub mod linear_threshold;
+pub mod metrics;
+pub mod monte_carlo;
+pub mod rank;
+pub mod reach;
+pub mod spread;
+pub mod world;
+
+pub use cascade::{simulate_cascade, CascadeOutcome};
+pub use cost::{expected_sc_cost, redemption_rate, seed_cost, total_cost};
+pub use evaluator::{AnalyticEvaluator, BenefitEvaluator};
+pub use metrics::RedemptionReport;
+pub use monte_carlo::MonteCarloEvaluator;
+pub use spread::SpreadState;
+pub use world::WorldCache;

@@ -1,0 +1,300 @@
+//! Monte-Carlo benefit evaluation over a world cache.
+//!
+//! Sec. V: `B(S, K(I))` "can be obtained approximately by sampling methods,
+//! such as Monte Carlo [2]", with accuracy `(1 − ε)` growing in the sample
+//! count. Worlds are pre-sampled once per instance
+//! ([`WorldCache`](crate::world::WorldCache)) and each evaluation runs the
+//! deterministic coupon-constrained cascade per world, in parallel across
+//! crossbeam-scoped workers.
+
+use crate::evaluator::BenefitEvaluator;
+use crate::reach::{world_cascade, CascadeScratch, WorldOutcome};
+use crate::world::WorldCache;
+use osn_graph::{CsrGraph, NodeData, NodeId};
+
+/// Aggregated Monte-Carlo statistics of a deployment.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SimulationStats {
+    /// Mean total benefit across worlds — the estimate of `B(S, K(I))`.
+    pub expected_benefit: f64,
+    /// Mean redeemed coupon cost (the *realized* coupon spend, as opposed to
+    /// the Table-I allocation cost used in the objective).
+    pub mean_redeemed_sc_cost: f64,
+    /// Mean number of activated users.
+    pub mean_activated: f64,
+    /// Mean farthest hop from the seed set (Table III's metric).
+    pub mean_farthest_hop: f64,
+}
+
+/// Monte-Carlo evaluator bound to one instance and one world cache.
+pub struct MonteCarloEvaluator<'a> {
+    graph: &'a CsrGraph,
+    data: &'a NodeData,
+    cache: &'a WorldCache,
+}
+
+impl<'a> MonteCarloEvaluator<'a> {
+    /// Evaluator over `cache`'s pre-sampled worlds.
+    pub fn new(graph: &'a CsrGraph, data: &'a NodeData, cache: &'a WorldCache) -> Self {
+        assert_eq!(cache.edge_count(), graph.edge_count());
+        MonteCarloEvaluator { graph, data, cache }
+    }
+
+    /// Number of worlds backing each estimate.
+    pub fn sample_count(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Full per-world statistics, averaged.
+    pub fn simulate(&self, seeds: &[NodeId], coupons: &[u32]) -> SimulationStats {
+        let r = self.cache.len();
+        if r == 0 {
+            return SimulationStats::default();
+        }
+        let outcomes = self.fold_worlds(seeds, coupons);
+        let rf = r as f64;
+        SimulationStats {
+            expected_benefit: outcomes.benefit / rf,
+            mean_redeemed_sc_cost: outcomes.redeemed_sc_cost / rf,
+            mean_activated: outcomes.activated as f64 / rf,
+            mean_farthest_hop: outcomes.farthest_hop_sum / rf,
+        }
+    }
+
+    fn fold_worlds(&self, seeds: &[NodeId], coupons: &[u32]) -> Totals {
+        let r = self.cache.len();
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(r);
+        if workers <= 1 || r < 16 {
+            let mut scratch = CascadeScratch::new(self.graph.node_count());
+            let mut acc = Totals::default();
+            for w in 0..r {
+                acc.add(world_cascade(
+                    self.graph,
+                    self.data,
+                    seeds,
+                    coupons,
+                    self.cache.world(w),
+                    &mut scratch,
+                ));
+            }
+            return acc;
+        }
+        let chunk = r.div_ceil(workers);
+        let mut acc = Totals::default();
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|t| {
+                    let lo = t * chunk;
+                    let hi = ((t + 1) * chunk).min(r);
+                    scope.spawn(move |_| {
+                        let mut scratch = CascadeScratch::new(self.graph.node_count());
+                        let mut part = Totals::default();
+                        for w in lo..hi {
+                            part.add(world_cascade(
+                                self.graph,
+                                self.data,
+                                seeds,
+                                coupons,
+                                self.cache.world(w),
+                                &mut scratch,
+                            ));
+                        }
+                        part
+                    })
+                })
+                .collect();
+            for h in handles {
+                acc.merge(h.join().expect("monte-carlo worker panicked"));
+            }
+        })
+        .expect("monte-carlo scope panicked");
+        acc
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Totals {
+    benefit: f64,
+    redeemed_sc_cost: f64,
+    activated: usize,
+    farthest_hop_sum: f64,
+}
+
+impl Totals {
+    fn add(&mut self, o: WorldOutcome) {
+        self.benefit += o.benefit;
+        self.redeemed_sc_cost += o.redeemed_sc_cost;
+        self.activated += o.activated;
+        self.farthest_hop_sum += o.farthest_hop as f64;
+    }
+
+    fn merge(&mut self, o: Totals) {
+        self.benefit += o.benefit;
+        self.redeemed_sc_cost += o.redeemed_sc_cost;
+        self.activated += o.activated;
+        self.farthest_hop_sum += o.farthest_hop_sum;
+    }
+}
+
+impl BenefitEvaluator for MonteCarloEvaluator<'_> {
+    fn expected_benefit(&self, seeds: &[NodeId], coupons: &[u32]) -> f64 {
+        self.simulate(seeds, coupons).expected_benefit
+    }
+
+    fn activation_probabilities(&self, seeds: &[NodeId], coupons: &[u32]) -> Vec<f64> {
+        // Frequency of activation per node across worlds (serial: only used
+        // for reports and tests, not in algorithm hot paths).
+        let n = self.graph.node_count();
+        let mut counts = vec![0u32; n];
+        let mut active = vec![false; n];
+        for w in 0..self.cache.len() {
+            active.fill(false);
+            mark_world_active(self.graph, seeds, coupons, self.cache, w, &mut active);
+            for (c, &a) in counts.iter_mut().zip(active.iter()) {
+                if a {
+                    *c += 1;
+                }
+            }
+        }
+        let r = self.cache.len().max(1) as f64;
+        counts.iter().map(|&c| c as f64 / r).collect()
+    }
+}
+
+/// Standalone world-activation marking (mirror of
+/// [`world_cascade`](crate::reach::world_cascade) that exposes the full
+/// activation set; kept separate so the hot aggregate path stays
+/// allocation-free).
+fn mark_world_active(
+    graph: &CsrGraph,
+    seeds: &[NodeId],
+    coupons: &[u32],
+    cache: &WorldCache,
+    world: usize,
+    active: &mut [bool],
+) {
+    let w = cache.world(world);
+    let mut frontier: Vec<NodeId> = Vec::new();
+    for &s in seeds {
+        if !active[s.index()] {
+            active[s.index()] = true;
+            frontier.push(s);
+        }
+    }
+    let mut next = Vec::new();
+    while !frontier.is_empty() {
+        next.clear();
+        for &u in &frontier {
+            let mut remaining = coupons[u.index()];
+            if remaining == 0 {
+                continue;
+            }
+            let base = graph.out_edge_ids(u).start as usize;
+            for (rank, &v) in graph.out_targets(u).iter().enumerate() {
+                if remaining == 0 {
+                    break;
+                }
+                if active[v.index()] {
+                    continue;
+                }
+                if w.get(base + rank) {
+                    active[v.index()] = true;
+                    remaining -= 1;
+                    next.push(v);
+                }
+            }
+        }
+        std::mem::swap(&mut frontier, &mut next);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spread::SpreadState;
+    use osn_graph::GraphBuilder;
+
+    fn example1() -> (CsrGraph, NodeData) {
+        let mut b = GraphBuilder::new(7);
+        b.add_edge(0, 1, 0.6).unwrap();
+        b.add_edge(0, 2, 0.4).unwrap();
+        b.add_edge(1, 3, 0.5).unwrap();
+        b.add_edge(1, 4, 0.4).unwrap();
+        b.add_edge(2, 5, 0.8).unwrap();
+        b.add_edge(2, 6, 0.7).unwrap();
+        (b.build().unwrap(), NodeData::uniform(7, 1.0, 1.0, 1.0))
+    }
+
+    #[test]
+    fn monte_carlo_agrees_with_analytic_on_tree() {
+        let (g, d) = example1();
+        let cache = WorldCache::sample(&g, 20_000, 1234);
+        let ev = MonteCarloEvaluator::new(&g, &d, &cache);
+        let mut k = vec![0u32; 7];
+        k[0] = 1;
+        k[1] = 2;
+        let mc = ev.expected_benefit(&[NodeId(0)], &k);
+        let exact = SpreadState::evaluate(&g, &d, &[NodeId(0)], &k).expected_benefit;
+        assert!(
+            (mc - exact).abs() < 0.03,
+            "MC {mc} vs analytic {exact} diverged"
+        );
+    }
+
+    #[test]
+    fn activation_probabilities_match_analytic_on_tree() {
+        let (g, d) = example1();
+        let cache = WorldCache::sample(&g, 20_000, 77);
+        let ev = MonteCarloEvaluator::new(&g, &d, &cache);
+        let mut k = vec![0u32; 7];
+        k[0] = 1;
+        let mc = ev.activation_probabilities(&[NodeId(0)], &k);
+        let exact = SpreadState::evaluate(&g, &d, &[NodeId(0)], &k).active_prob;
+        for (i, (a, b)) in mc.iter().zip(exact.iter()).enumerate() {
+            assert!((a - b).abs() < 0.02, "node {i}: MC {a} vs exact {b}");
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_paths_agree_exactly() {
+        let (g, d) = example1();
+        let cache = WorldCache::sample(&g, 64, 5);
+        let ev = MonteCarloEvaluator::new(&g, &d, &cache);
+        let mut k = vec![0u32; 7];
+        k[0] = 2;
+        // Parallel path (64 worlds) vs manual serial fold.
+        let par = ev.simulate(&[NodeId(0)], &k);
+        let mut scratch = CascadeScratch::new(7);
+        let mut sum = 0.0;
+        for w in 0..64 {
+            sum += world_cascade(&g, &d, &[NodeId(0)], &k, cache.world(w), &mut scratch)
+                .benefit;
+        }
+        assert!((par.expected_benefit - sum / 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cache_degenerates_to_zero() {
+        let (g, d) = example1();
+        let cache = WorldCache::sample(&g, 0, 1);
+        let ev = MonteCarloEvaluator::new(&g, &d, &cache);
+        assert_eq!(ev.simulate(&[NodeId(0)], &[0; 7]), SimulationStats::default());
+    }
+
+    #[test]
+    fn hop_statistics_reflect_spread_depth() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0).unwrap();
+        b.add_edge(1, 2, 1.0).unwrap();
+        let g = b.build().unwrap();
+        let d = NodeData::uniform(3, 1.0, 1.0, 1.0);
+        let cache = WorldCache::sample(&g, 8, 2);
+        let ev = MonteCarloEvaluator::new(&g, &d, &cache);
+        let stats = ev.simulate(&[NodeId(0)], &[1, 1, 0]);
+        assert_eq!(stats.mean_farthest_hop, 2.0);
+        assert_eq!(stats.mean_activated, 3.0);
+    }
+}

@@ -1,0 +1,164 @@
+//! The coupon-availability rank DP.
+//!
+//! For a user with `k` coupons attempting neighbors in rank order with
+//! probabilities `p_1..p_d`, the probability that the rank-`j` neighbor
+//! redeems is
+//!
+//! ```text
+//! q_j = p_j · Pr[fewer than k of the attempts 1..j−1 succeeded]
+//! ```
+//!
+//! which is exactly the paper's `E[k_i, c_sc(v_j)] / c_sc(v_j)`: for
+//! `j ≤ k_i` the availability factor is 1 and `q_j = P(e(i,j))`; for
+//! `j > k_i` the factor is the paper's `P(k̄_i)`. The DP tracks the
+//! distribution of coupons consumed, saturating at `k` (once all coupons are
+//! gone no further attempts happen, so the exact count above `k` is
+//! irrelevant).
+
+/// Per-rank redemption probabilities for attempt probabilities `probs`
+/// (already in descending-rank order) under `k` coupons.
+pub fn redemption_probs(probs: &[f64], k: u32) -> Vec<f64> {
+    let mut q = vec![0.0; probs.len()];
+    redemption_probs_into(probs, k, &mut q);
+    q
+}
+
+/// As [`redemption_probs`], writing into a caller-provided buffer (hot path
+/// of the marginal-redemption loop; avoids an allocation per candidate).
+///
+/// # Panics
+/// Panics if `out.len() != probs.len()`.
+pub fn redemption_probs_into(probs: &[f64], k: u32, out: &mut [f64]) {
+    assert_eq!(out.len(), probs.len());
+    let k = k as usize;
+    if k == 0 {
+        out.fill(0.0);
+        return;
+    }
+    // dist[c] = Pr[c coupons consumed so far], c saturating at k.
+    let mut dist = vec![0.0f64; k + 1];
+    dist[0] = 1.0;
+    for (j, &p) in probs.iter().enumerate() {
+        let avail: f64 = dist[..k].iter().sum();
+        out[j] = p * avail;
+        // One more attempt with success probability p, only from states with
+        // coupons left. Descending order keeps the update in place.
+        for c in (0..k).rev() {
+            dist[c + 1] += dist[c] * p;
+            dist[c] *= 1.0 - p;
+        }
+    }
+}
+
+/// Probability that **all** `k` coupons end up redeemed after attempting
+/// every neighbor (used by tests and by the exhaustive OPT solver's
+/// upper bounds).
+pub fn exhaustion_probability(probs: &[f64], k: u32) -> f64 {
+    let k = k as usize;
+    if k == 0 {
+        return 1.0;
+    }
+    let mut dist = vec![0.0f64; k + 1];
+    dist[0] = 1.0;
+    for &p in probs {
+        for c in (0..k).rev() {
+            dist[c + 1] += dist[c] * p;
+            dist[c] *= 1.0 - p;
+        }
+    }
+    dist[k]
+}
+
+/// Expected number of redemptions (`Σ q_j`), never exceeding `min(k, d)`.
+pub fn expected_redemptions(probs: &[f64], k: u32) -> f64 {
+    redemption_probs(probs, k).iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn unconstrained_equals_raw_probabilities() {
+        let p = [0.7, 0.5, 0.3];
+        let q = redemption_probs(&p, 3);
+        for (a, b) in q.iter().zip(p.iter()) {
+            assert!((a - b).abs() < EPS);
+        }
+        // k beyond the degree changes nothing.
+        assert_eq!(redemption_probs(&p, 10), q);
+    }
+
+    #[test]
+    fn zero_coupons_means_no_redemption() {
+        assert_eq!(redemption_probs(&[0.9, 0.9], 0), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn paper_fig1_dependent_edge() {
+        // Fig. 1(c) case 2: k₁ = 1 over ranked probs [0.55, 0.5]:
+        // "the probability of activating v2 becomes (1 − 0.55) · 0.5".
+        let q = redemption_probs(&[0.55, 0.5], 1);
+        assert!((q[0] - 0.55).abs() < EPS);
+        assert!((q[1] - 0.45 * 0.5).abs() < EPS);
+    }
+
+    #[test]
+    fn paper_example1_dependent_edge() {
+        // Example 1: k₁ = 1 over [0.6, 0.4] → v3 redeems w.p. (1−0.6)·0.4.
+        let q = redemption_probs(&[0.6, 0.4], 1);
+        assert!((q[0] - 0.6).abs() < EPS);
+        assert!((q[1] - 0.16).abs() < EPS);
+    }
+
+    #[test]
+    fn two_coupons_three_children() {
+        // k = 2, probs [a, b, c]: rank 3 redeems iff fewer than 2 of {1, 2}
+        // succeeded.
+        let (a, b, c) = (0.5, 0.4, 0.3);
+        let q = redemption_probs(&[a, b, c], 2);
+        assert!((q[0] - a).abs() < EPS);
+        assert!((q[1] - b).abs() < EPS);
+        let p_fewer_than_2 = 1.0 - a * b;
+        assert!((q[2] - c * p_fewer_than_2).abs() < EPS);
+    }
+
+    #[test]
+    fn probabilities_are_monotone_in_k() {
+        let p = [0.9, 0.8, 0.7, 0.6];
+        for k in 0..4u32 {
+            let lo = redemption_probs(&p, k);
+            let hi = redemption_probs(&p, k + 1);
+            for (l, h) in lo.iter().zip(hi.iter()) {
+                assert!(h >= l, "q must be monotone nondecreasing in k");
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustion_probability_simple_cases() {
+        // One coupon, one neighbor at p: exhausted w.p. p.
+        assert!((exhaustion_probability(&[0.3], 1) - 0.3).abs() < EPS);
+        // One coupon, two neighbors: 1 − (1−p1)(1−p2).
+        let e = exhaustion_probability(&[0.5, 0.5], 1);
+        assert!((e - 0.75).abs() < EPS);
+        assert_eq!(exhaustion_probability(&[0.5], 0), 1.0);
+    }
+
+    #[test]
+    fn expected_redemptions_bounded_by_k_and_degree() {
+        let p = [0.9, 0.9, 0.9, 0.9];
+        assert!(expected_redemptions(&p, 2) <= 2.0 + EPS);
+        assert!(expected_redemptions(&p, 100) <= 4.0 + EPS);
+    }
+
+    #[test]
+    fn into_variant_matches_allocating_variant() {
+        let p = [0.2, 0.9, 0.5];
+        let mut buf = vec![0.0; 3];
+        redemption_probs_into(&p, 2, &mut buf);
+        assert_eq!(buf, redemption_probs(&p, 2));
+    }
+}

@@ -1,0 +1,223 @@
+//! Deterministic coupon-constrained reachability inside one world.
+//!
+//! Sec. V: "The users reachable from the seed set by the paths with the
+//! allocated coupons will be activated. Note that if a user v_i is allocated
+//! with [k_i coupons and more than k_i] living edges after tossing coins, it
+//! will only receive the former k_i coupons from the incident edges with the
+//! largest influence probability." The cascade below walks BFS rounds; each
+//! active node takes its live out-edges in rank order, skipping already
+//! active targets (no coupon consumed) and stopping after `k` redemptions.
+
+use crate::bits::BitVec;
+use osn_graph::{CsrGraph, NodeData, NodeId};
+
+/// Reusable buffers for world cascades (one per worker thread).
+#[derive(Clone, Debug)]
+pub struct CascadeScratch {
+    stamp: u32,
+    mark: Vec<u32>,
+    frontier: Vec<NodeId>,
+    next: Vec<NodeId>,
+}
+
+impl CascadeScratch {
+    /// Scratch for graphs with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        CascadeScratch {
+            stamp: 0,
+            mark: vec![0; n],
+            frontier: Vec::new(),
+            next: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn begin(&mut self) {
+        self.stamp = self.stamp.wrapping_add(1);
+        if self.stamp == 0 {
+            // Stamp wrapped: reset marks so stale entries cannot collide.
+            self.mark.fill(0);
+            self.stamp = 1;
+        }
+        self.frontier.clear();
+        self.next.clear();
+    }
+
+    #[inline]
+    fn is_active(&self, v: NodeId) -> bool {
+        self.mark[v.index()] == self.stamp
+    }
+
+    #[inline]
+    fn activate(&mut self, v: NodeId) {
+        self.mark[v.index()] = self.stamp;
+    }
+}
+
+/// Aggregate result of one world cascade.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct WorldOutcome {
+    /// Total benefit of activated users.
+    pub benefit: f64,
+    /// Coupon cost of coupon-activated users.
+    pub redeemed_sc_cost: f64,
+    /// Activated user count (seeds included).
+    pub activated: usize,
+    /// Farthest hop from the seed set along the realized spread.
+    pub farthest_hop: u32,
+}
+
+/// Run the deterministic cascade of `world` from `seeds` under `coupons`.
+pub fn world_cascade(
+    graph: &CsrGraph,
+    data: &NodeData,
+    seeds: &[NodeId],
+    coupons: &[u32],
+    world: &BitVec,
+    scratch: &mut CascadeScratch,
+) -> WorldOutcome {
+    debug_assert_eq!(coupons.len(), graph.node_count());
+    debug_assert_eq!(world.len(), graph.edge_count());
+    scratch.begin();
+    let mut out = WorldOutcome::default();
+
+    for &s in seeds {
+        if !scratch.is_active(s) {
+            scratch.activate(s);
+            out.benefit += data.benefit(s);
+            out.activated += 1;
+            scratch.frontier.push(s);
+        }
+    }
+
+    let mut hop = 0u32;
+    while !scratch.frontier.is_empty() {
+        scratch.next.clear();
+        // Swap out the frontier so we can mutate scratch inside the loop.
+        let mut frontier = std::mem::take(&mut scratch.frontier);
+        for &u in &frontier {
+            let mut remaining = coupons[u.index()];
+            if remaining == 0 {
+                continue;
+            }
+            let base = graph.out_edge_ids(u).start as usize;
+            for (rank, &v) in graph.out_targets(u).iter().enumerate() {
+                if remaining == 0 {
+                    break;
+                }
+                if scratch.is_active(v) {
+                    continue;
+                }
+                if world.get(base + rank) {
+                    scratch.activate(v);
+                    out.benefit += data.benefit(v);
+                    out.redeemed_sc_cost += data.sc_cost(v);
+                    out.activated += 1;
+                    remaining -= 1;
+                    scratch.next.push(v);
+                }
+            }
+        }
+        frontier.clear();
+        scratch.frontier = frontier;
+        if !scratch.next.is_empty() {
+            hop += 1;
+            out.farthest_hop = hop;
+        }
+        std::mem::swap(&mut scratch.frontier, &mut scratch.next);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osn_graph::GraphBuilder;
+
+    fn star_world(live_ranks: &[usize]) -> (CsrGraph, NodeData, BitVec) {
+        // Center 0 with children 1..=4 at descending probs.
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1, 0.9).unwrap();
+        b.add_edge(0, 2, 0.8).unwrap();
+        b.add_edge(0, 3, 0.7).unwrap();
+        b.add_edge(0, 4, 0.6).unwrap();
+        let g = b.build().unwrap();
+        let d = NodeData::uniform(5, 1.0, 1.0, 1.0);
+        let mut w = BitVec::zeros(g.edge_count());
+        for &r in live_ranks {
+            w.set(r, true);
+        }
+        (g, d, w)
+    }
+
+    #[test]
+    fn rank_order_decides_coupon_recipients() {
+        // All four edges live but only 2 coupons: ranks 0 and 1 win.
+        let (g, d, w) = star_world(&[0, 1, 2, 3]);
+        let mut scratch = CascadeScratch::new(5);
+        let out = world_cascade(&g, &d, &[NodeId(0)], &[2, 0, 0, 0, 0], &w, &mut scratch);
+        assert_eq!(out.activated, 3);
+        assert_eq!(out.redeemed_sc_cost, 2.0);
+    }
+
+    #[test]
+    fn dead_high_rank_edges_let_low_ranks_redeem() {
+        // Ranks 0 and 1 dead, 2 and 3 live, one coupon: rank 2 wins.
+        let (g, d, w) = star_world(&[2, 3]);
+        let mut scratch = CascadeScratch::new(5);
+        let out = world_cascade(&g, &d, &[NodeId(0)], &[1, 0, 0, 0, 0], &w, &mut scratch);
+        assert_eq!(out.activated, 2);
+    }
+
+    #[test]
+    fn scratch_reuse_is_clean_across_runs() {
+        let (g, d, w) = star_world(&[0]);
+        let mut scratch = CascadeScratch::new(5);
+        let a = world_cascade(&g, &d, &[NodeId(0)], &[4, 0, 0, 0, 0], &w, &mut scratch);
+        let b = world_cascade(&g, &d, &[NodeId(0)], &[4, 0, 0, 0, 0], &w, &mut scratch);
+        assert_eq!(a, b);
+        let empty = world_cascade(&g, &d, &[], &[0; 5], &w, &mut scratch);
+        assert_eq!(empty.activated, 0);
+        assert_eq!(empty.benefit, 0.0);
+    }
+
+    #[test]
+    fn multi_hop_world_hops_counted() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 0.5).unwrap();
+        b.add_edge(1, 2, 0.5).unwrap();
+        let g = b.build().unwrap();
+        let d = NodeData::uniform(3, 1.0, 1.0, 1.0);
+        let mut w = BitVec::zeros(2);
+        w.set(0, true);
+        w.set(1, true);
+        let mut scratch = CascadeScratch::new(3);
+        let out = world_cascade(&g, &d, &[NodeId(0)], &[1, 1, 0], &w, &mut scratch);
+        assert_eq!(out.farthest_hop, 2);
+        assert_eq!(out.activated, 3);
+    }
+
+    #[test]
+    fn active_target_skipped_without_coupon_loss() {
+        // 0 -> 1 live (rank 0), 0 -> 2 live (rank 1); 1 is also a seed.
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 0.9).unwrap();
+        b.add_edge(0, 2, 0.8).unwrap();
+        let g = b.build().unwrap();
+        let d = NodeData::uniform(3, 1.0, 1.0, 1.0);
+        let mut w = BitVec::zeros(2);
+        w.set(0, true);
+        w.set(1, true);
+        let mut scratch = CascadeScratch::new(3);
+        let out = world_cascade(
+            &g,
+            &d,
+            &[NodeId(0), NodeId(1)],
+            &[1, 0, 0],
+            &w,
+            &mut scratch,
+        );
+        assert_eq!(out.activated, 3, "coupon must reach node 2");
+        assert_eq!(out.redeemed_sc_cost, 1.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests of the propagation engine's core invariants.
+
+use osn_graph::{GraphBuilder, NodeData, NodeId};
+use osn_propagation::rank::{exhaustion_probability, redemption_probs};
+use osn_propagation::spread::SpreadState;
+use osn_propagation::world::WorldCache;
+use osn_propagation::{expected_sc_cost, BenefitEvaluator, MonteCarloEvaluator};
+use proptest::prelude::*;
+
+fn tree_strategy() -> impl Strategy<Value = Vec<(u32, u32, f64)>> {
+    // A random out-tree over ≤ 20 nodes: parent of node i is drawn from
+    // 0..i, making cycles impossible.
+    proptest::collection::vec((0.0f64..=1.0f64), 1..20).prop_perturb(|probs, mut rng| {
+        probs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                let child = (i + 1) as u32;
+                let parent = rng.gen_range(0..=i as u32);
+                (parent, child, p)
+            })
+            .collect()
+    })
+}
+
+fn build(n: usize, edges: &[(u32, u32, f64)]) -> osn_graph::CsrGraph {
+    let mut b = GraphBuilder::new(n);
+    for &(u, v, p) in edges {
+        b.add_edge(u, v, p).unwrap();
+    }
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn rank_dp_is_a_coherent_distribution(probs in proptest::collection::vec(0.0f64..=1.0, 0..10), k in 0u32..8) {
+        let q = redemption_probs(&probs, k);
+        // Monotone nonincreasing availability: q_j / p_j (when p_j > 0) is
+        // the availability factor and can only shrink with rank.
+        let mut last_avail = 1.0f64;
+        for (&qj, &pj) in q.iter().zip(probs.iter()) {
+            if pj > 1e-12 {
+                let avail = qj / pj;
+                prop_assert!(avail <= last_avail + 1e-9, "availability rose with rank");
+                last_avail = avail;
+            }
+        }
+        // Exhaustion probability is a probability.
+        let e = exhaustion_probability(&probs, k);
+        prop_assert!((-1e-12..=1.0 + 1e-9).contains(&e));
+    }
+
+    #[test]
+    fn analytic_equals_monte_carlo_on_trees(edges in tree_strategy(), k_cap in 1u32..3) {
+        let n = edges.len() + 1;
+        let g = build(n, &edges);
+        let d = NodeData::uniform(n, 1.0, 1.0, 1.0);
+        let coupons: Vec<u32> = (0..n)
+            .map(|i| (g.out_degree(NodeId(i as u32)) as u32).min(k_cap))
+            .collect();
+        let exact = SpreadState::evaluate(&g, &d, &[NodeId(0)], &coupons).expected_benefit;
+        let cache = WorldCache::sample(&g, 6000, 7);
+        let mc = MonteCarloEvaluator::new(&g, &d, &cache).expected_benefit(&[NodeId(0)], &coupons);
+        // 6000 worlds: ~4 standard errors of slack on a ≤ 20-benefit sum.
+        prop_assert!((exact - mc).abs() < 0.30, "exact {exact} vs MC {mc}");
+    }
+
+    #[test]
+    fn sc_cost_is_monotone_in_k(edges in tree_strategy()) {
+        let n = edges.len() + 1;
+        let g = build(n, &edges);
+        let d = NodeData::uniform(n, 1.0, 1.0, 1.0);
+        let mut last = 0.0f64;
+        for k in 0..4u32 {
+            let coupons: Vec<u32> = (0..n)
+                .map(|i| (g.out_degree(NodeId(i as u32)) as u32).min(k))
+                .collect();
+            let c = expected_sc_cost(&g, &d, &[NodeId(0)], &coupons);
+            prop_assert!(c >= last - 1e-9, "cost decreased when k rose");
+            last = c;
+        }
+    }
+
+    #[test]
+    fn world_cache_respects_edge_probabilities(p in 0.05f64..0.95) {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, p).unwrap();
+        let g = b.build().unwrap();
+        let cache = WorldCache::sample(&g, 8000, 3);
+        let live = (0..cache.len()).filter(|&w| cache.world(w).get(0)).count();
+        let freq = live as f64 / cache.len() as f64;
+        prop_assert!((freq - p).abs() < 0.05, "live frequency {freq} vs p {p}");
+    }
+
+    #[test]
+    fn coupon_deltas_match_full_reevaluation_on_trees(edges in tree_strategy()) {
+        let n = edges.len() + 1;
+        let g = build(n, &edges);
+        let d = NodeData::uniform(n, 1.0, 1.0, 1.0);
+        let mut coupons = vec![0u32; n];
+        coupons[0] = g.out_degree(NodeId(0)).min(1) as u32;
+        let state = SpreadState::evaluate(&g, &d, &[NodeId(0)], &coupons);
+        for cand in 0..n.min(6) {
+            let v = NodeId(cand as u32);
+            if coupons[cand] >= g.out_degree(v) as u32 {
+                continue;
+            }
+            let (db, _) = state.coupon_delta(&g, &d, v, 1);
+            let mut probe = coupons.clone();
+            probe[cand] += 1;
+            let full = SpreadState::evaluate(&g, &d, &[NodeId(0)], &probe).expected_benefit;
+            prop_assert!(
+                (full - state.expected_benefit - db).abs() < 1e-9,
+                "first-order delta diverged from re-evaluation on a tree"
+            );
+        }
+    }
+}

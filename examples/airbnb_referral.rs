@@ -1,0 +1,74 @@
+//! Airbnb vs Booking.com referral policies under the Sec. VI-C case-study
+//! models: coupon adoption probabilities (85/10/5 tiers of [30]) and
+//! gross-margin-derived benefits ([31]).
+//!
+//! ```text
+//! cargo run --release -p s3crm-examples --example airbnb_referral
+//! ```
+
+use osn_gen::adoption::{
+    adoption_probabilities, apply_adoption, gross_margin_benefits, AIRBNB, BOOKING,
+};
+use osn_gen::{seeded_rng, DatasetProfile};
+use osn_graph::NodeData;
+use osn_propagation::world::WorldCache;
+use osn_propagation::RedemptionReport;
+use s3crm_core::{s3ca, S3caConfig};
+
+fn main() {
+    let base = DatasetProfile::Facebook
+        .generate(0.15, 7)
+        .expect("generation");
+    let n = base.graph.node_count();
+    println!(
+        "Network: {} users, {} relationships\n",
+        n,
+        base.graph.edge_count()
+    );
+    println!(
+        "{:<12} {:>8} {:>8} {:>10} {:>10} {:>8}",
+        "policy", "margin%", "seeds", "benefit", "cost", "rate"
+    );
+
+    for policy in [AIRBNB, BOOKING] {
+        // Per-user adoption probability scales incoming influence: pricier
+        // coupons are adopted by fewer users.
+        let sc_costs = vec![policy.sc_cost; n];
+        let mut rng = seeded_rng(1234);
+        let adoption = adoption_probabilities(&sc_costs, &mut rng);
+        let graph = apply_adoption(&base.graph, &adoption).expect("adoption");
+        let cache = WorldCache::sample(&graph, 300, 5);
+        let budget = policy.sc_cost * n as f64 * 0.05;
+
+        for margin in [40.0, 60.0, 80.0] {
+            let data = NodeData::new(
+                gross_margin_benefits(&sc_costs, margin),
+                base.data.seed_costs().to_vec(),
+                sc_costs.clone(),
+            )
+            .expect("attributes");
+            let result = s3ca(&graph, &data, budget, &S3caConfig::default());
+            let report = RedemptionReport::compute(
+                &graph,
+                &data,
+                &result.deployment.seeds,
+                &result.deployment.coupons,
+                &cache,
+            );
+            println!(
+                "{:<12} {:>8.0} {:>8} {:>10.0} {:>10.0} {:>8.3}",
+                policy.name,
+                margin,
+                result.deployment.seeds.len(),
+                report.expected_benefit,
+                report.total_cost,
+                report.redemption_rate
+            );
+        }
+    }
+    println!(
+        "\nHigher gross margins raise the redemption rate (each redeemed coupon \
+         carries more benefit); Booking.com's tighter allocation (10 vs 100) \
+         wastes fewer unredeemed coupons — both effects match the paper's Fig. 8."
+    );
+}

@@ -1,0 +1,16 @@
+//! Shared helpers for the example binaries (pretty-printing deployments).
+//! The real content lives in the `examples/*.rs` binaries; see
+//! `cargo run -p s3crm-examples --example quickstart`.
+
+/// Format a fractional value as a percentage string with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn pct_formats() {
+        assert_eq!(super::pct(0.125), "12.5%");
+    }
+}

@@ -1,0 +1,22 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use osn_graph::{CsrGraph, NodeData, NodeId};
+use s3crm_core::Deployment;
+
+/// Assemble a deployment from a seed list and sparse `(node, k)` pairs.
+pub fn deployment(n: usize, seeds: &[u32], coupons: &[(u32, u32)]) -> Deployment {
+    let mut dep = Deployment::empty(n);
+    for &s in seeds {
+        dep.add_seed(NodeId(s));
+    }
+    for &(v, k) in coupons {
+        dep.coupons[v as usize] = k;
+    }
+    dep
+}
+
+/// Analytic `(benefit, total_cost, rate)` of a deployment.
+pub fn analytic(graph: &CsrGraph, data: &NodeData, dep: &Deployment) -> (f64, f64, f64) {
+    let v = s3crm_core::objective::evaluate(graph, data, dep);
+    (v.benefit, v.total_cost(), v.rate)
+}
