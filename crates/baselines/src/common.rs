@@ -11,9 +11,7 @@ use crate::strategy::CouponStrategy;
 /// The paper's seed-size sweep: `|V| / 2^n` for `n = 0..=10`, deduplicated
 /// and clipped to `[1, n_nodes]`, ascending.
 pub fn seed_size_sweep(n_nodes: usize) -> Vec<usize> {
-    let mut sizes: Vec<usize> = (0..=10u32)
-        .map(|n| (n_nodes >> n).max(1))
-        .collect();
+    let mut sizes: Vec<usize> = (0..=10u32).map(|n| (n_nodes >> n).max(1)).collect();
     sizes.sort_unstable();
     sizes.dedup();
     sizes.retain(|&s| s <= n_nodes);
@@ -38,11 +36,7 @@ pub fn deployment_with_strategy(
 }
 
 /// Analytic objective of a (seeds, strategy) pair.
-pub fn value_of(
-    graph: &CsrGraph,
-    data: &NodeData,
-    dep: &Deployment,
-) -> ObjectiveValue {
+pub fn value_of(graph: &CsrGraph, data: &NodeData, dep: &Deployment) -> ObjectiveValue {
     objective::evaluate(graph, data, dep)
 }
 
@@ -56,8 +50,8 @@ pub fn influence_spread(graph: &CsrGraph, cache: &WorldCache, seeds: &[NodeId]) 
     let mut scratch = CascadeScratch::new(graph.node_count());
     let mut total = 0usize;
     for w in 0..cache.len() {
-        total += world_cascade(graph, &data, seeds, &coupons, cache.world(w), &mut scratch)
-            .activated;
+        total +=
+            world_cascade(graph, &data, seeds, &coupons, cache.world(w), &mut scratch).activated;
     }
     total as f64 / cache.len().max(1) as f64
 }
@@ -86,6 +80,9 @@ mod tests {
         let g = b.build().unwrap();
         let cache = WorldCache::sample(&g, 32, 4);
         let inf = influence_spread(&g, &cache, &[NodeId(0)]);
-        assert!((inf - 2.0).abs() < 1e-12, "deterministic spread of 2, got {inf}");
+        assert!(
+            (inf - 2.0).abs() < 1e-12,
+            "deterministic spread of 2, got {inf}"
+        );
     }
 }

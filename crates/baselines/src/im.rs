@@ -306,7 +306,13 @@ mod tests {
         let g = hub_graph();
         let d = NodeData::uniform(8, 1.0, 2.0, 1.0);
         for binv in [2.0, 4.0, 8.0] {
-            let dep = im_with_strategy(&g, &d, binv, CouponStrategy::Unlimited, &ImConfig::default());
+            let dep = im_with_strategy(
+                &g,
+                &d,
+                binv,
+                CouponStrategy::Unlimited,
+                &ImConfig::default(),
+            );
             let v = value_of(&g, &d, &dep);
             assert!(v.within_budget(binv), "cost {} > {binv}", v.total_cost());
         }
@@ -317,7 +323,13 @@ mod tests {
         let g = hub_graph();
         let d = NodeData::uniform(8, 1.0, 2.0, 1.0);
         let small = im_with_strategy(&g, &d, 2.5, CouponStrategy::Unlimited, &ImConfig::default());
-        let large = im_with_strategy(&g, &d, 50.0, CouponStrategy::Unlimited, &ImConfig::default());
+        let large = im_with_strategy(
+            &g,
+            &d,
+            50.0,
+            CouponStrategy::Unlimited,
+            &ImConfig::default(),
+        );
         assert!(large.seeds.len() >= small.seeds.len());
         assert!(!large.seeds.is_empty());
     }
@@ -326,7 +338,13 @@ mod tests {
     fn limited_strategy_caps_coupons() {
         let g = hub_graph();
         let d = NodeData::uniform(8, 1.0, 2.0, 1.0);
-        let dep = im_with_strategy(&g, &d, 50.0, CouponStrategy::Limited(2), &ImConfig::default());
+        let dep = im_with_strategy(
+            &g,
+            &d,
+            50.0,
+            CouponStrategy::Limited(2),
+            &ImConfig::default(),
+        );
         for &k in &dep.coupons {
             assert!(k <= 2);
         }

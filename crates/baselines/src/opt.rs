@@ -16,8 +16,8 @@
 //! instances small enough for the caps not to bind (every unit test here,
 //! and the Fig. 10 sizes with the defaults) it returns the true optimum.
 
-use osn_graph::{CsrGraph, NodeData, NodeId};
 use osn_graph::traversal::bfs_hops;
+use osn_graph::{CsrGraph, NodeData, NodeId};
 use s3crm_core::deployment::Deployment;
 use s3crm_core::objective::{self, ObjectiveValue};
 
@@ -118,7 +118,13 @@ pub fn exhaustive_opt(
 
 /// All non-empty subsets of `pool` with at most `max` elements.
 fn enumerate_subsets(pool: &[NodeId], max: usize, out: &mut Vec<Vec<NodeId>>) {
-    fn rec(pool: &[NodeId], start: usize, max: usize, cur: &mut Vec<NodeId>, out: &mut Vec<Vec<NodeId>>) {
+    fn rec(
+        pool: &[NodeId],
+        start: usize,
+        max: usize,
+        cur: &mut Vec<NodeId>,
+        out: &mut Vec<Vec<NodeId>>,
+    ) {
         if !cur.is_empty() {
             out.push(cur.clone());
         }
@@ -148,10 +154,7 @@ fn coupon_support(
         .nodes()
         .filter(|&v| hops[v.index()] <= 2 && graph.out_degree(v) > 0)
         .map(|v| {
-            let potential: f64 = graph
-                .ranked_out(v)
-                .map(|(t, p)| p * data.benefit(t))
-                .sum();
+            let potential: f64 = graph.ranked_out(v).map(|(t, p)| p * data.benefit(t)).sum();
             (potential, v)
         })
         .collect();
@@ -187,12 +190,9 @@ fn allocate(
     // Optimistic bound: every remaining coupon could add at most the
     // instance's best single-hop gain at zero additional cost.
     let remaining = (cfg.max_total_coupons - used) as f64;
-    let max_b = data
-        .benefits()
-        .iter()
-        .fold(0.0f64, |a, &b| a.max(b));
-    let optimistic = (value.benefit + remaining * max_b)
-        / value.total_cost().max(f64::MIN_POSITIVE);
+    let max_b = data.benefits().iter().fold(0.0f64, |a, &b| a.max(b));
+    let optimistic =
+        (value.benefit + remaining * max_b) / value.total_cost().max(f64::MIN_POSITIVE);
     if value.total_cost() > 0.0 && optimistic <= best_value.rate {
         return;
     }
@@ -206,7 +206,16 @@ fn allocate(
     for k in 0..=cap {
         dep.coupons[node.index()] = k;
         allocate(
-            graph, data, binv, cfg, support, idx + 1, used + k, dep, best_dep, best_value,
+            graph,
+            data,
+            binv,
+            cfg,
+            support,
+            idx + 1,
+            used + k,
+            dep,
+            best_dep,
+            best_value,
         );
     }
     dep.coupons[node.index()] = 0;
@@ -243,7 +252,11 @@ mod tests {
         let (dep, value) = exhaustive_opt(&g, &d, 3.5, &OptConfig::default());
         assert_eq!(dep.seeds, vec![NodeId(0)], "OPT seeds {:?}", dep.seeds);
         assert_eq!(dep.coupons, vec![1, 0, 0, 1, 0], "OPT allocation");
-        assert!((value.rate - 8.295 / 2.675).abs() < 1e-9, "rate {}", value.rate);
+        assert!(
+            (value.rate - 8.295 / 2.675).abs() < 1e-9,
+            "rate {}",
+            value.rate
+        );
     }
 
     #[test]

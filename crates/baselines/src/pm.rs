@@ -124,7 +124,13 @@ mod tests {
         b.add_edge(0, 1, 0.1).unwrap();
         let g = b.build().unwrap();
         let d = NodeData::uniform(3, 1.0, 10.0, 1.0);
-        let dep = pm_with_strategy(&g, &d, 100.0, CouponStrategy::Unlimited, &PmConfig::default());
+        let dep = pm_with_strategy(
+            &g,
+            &d,
+            100.0,
+            CouponStrategy::Unlimited,
+            &PmConfig::default(),
+        );
         assert!(dep.seeds.is_empty());
     }
 
@@ -132,8 +138,13 @@ mod tests {
     fn respects_budget() {
         let (g, d) = fig1();
         for binv in [2.5, 3.5, 10.0] {
-            let dep =
-                pm_with_strategy(&g, &d, binv, CouponStrategy::Unlimited, &PmConfig::default());
+            let dep = pm_with_strategy(
+                &g,
+                &d,
+                binv,
+                CouponStrategy::Unlimited,
+                &PmConfig::default(),
+            );
             let v = value_of(&g, &d, &dep);
             assert!(v.within_budget(binv));
         }
@@ -142,7 +153,13 @@ mod tests {
     #[test]
     fn limited_strategy_changes_allocation_not_selection_logic() {
         let (g, d) = fig1();
-        let dep = pm_with_strategy(&g, &d, 3.5, CouponStrategy::Limited(1), &PmConfig::default());
+        let dep = pm_with_strategy(
+            &g,
+            &d,
+            3.5,
+            CouponStrategy::Limited(1),
+            &PmConfig::default(),
+        );
         for &k in &dep.coupons {
             assert!(k <= 1);
         }

@@ -58,11 +58,7 @@ pub fn sample_rr_set<R: Rng>(graph: &CsrGraph, target: NodeId, rng: &mut R) -> V
 /// Greedy maximum-coverage seed ranking over `cfg.rr_sets` RR sets.
 /// Returns up to `max_seeds` seeds with their (cumulative) estimated
 /// influence spread.
-pub fn ris_seed_ranking(
-    graph: &CsrGraph,
-    cfg: &RisConfig,
-    max_seeds: usize,
-) -> Vec<(NodeId, f64)> {
+pub fn ris_seed_ranking(graph: &CsrGraph, cfg: &RisConfig, max_seeds: usize) -> Vec<(NodeId, f64)> {
     let n = graph.node_count();
     if n == 0 || max_seeds == 0 || cfg.rr_sets == 0 {
         return Vec::new();
@@ -125,8 +121,7 @@ pub fn ris_with_strategy(
         .into_iter()
         .map(|(v, _)| v)
         .collect();
-    let cache =
-        osn_propagation::world::WorldCache::sample(graph, eval_worlds, cfg.rng_seed ^ 0x11);
+    let cache = osn_propagation::world::WorldCache::sample(graph, eval_worlds, cfg.rng_seed ^ 0x11);
     crate::im::best_feasible_prefix(graph, data, binv, strategy, &ranking, &cache)
 }
 

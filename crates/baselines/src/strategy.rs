@@ -5,8 +5,8 @@
 //! coupons to every user the spread could reach (activated users forward
 //! coupons), which is exactly the node set reachable from the seeds.
 
-use osn_graph::{CsrGraph, NodeId};
 use osn_graph::traversal::reachable_set;
+use osn_graph::{CsrGraph, NodeId};
 
 /// How a seed-only algorithm allocates coupons.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -108,11 +108,7 @@ impl CouponStrategy {
         while osn_propagation::expected_sc_cost(graph, data, seeds, &coupons) + seed_cost
             > binv * (1.0 + 1e-9)
         {
-            let Some(last) = order
-                .iter()
-                .rev()
-                .find(|v| coupons[v.index()] > 0)
-            else {
+            let Some(last) = order.iter().rev().find(|v| coupons[v.index()] > 0) else {
                 break;
             };
             coupons[last.index()] = 0;

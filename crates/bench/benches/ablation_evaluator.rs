@@ -29,14 +29,10 @@ fn bench(c: &mut Criterion) {
     });
     for worlds in [16usize, 64, 256] {
         let cache = WorldCache::sample(&inst.graph, worlds, 11);
-        group.bench_with_input(
-            BenchmarkId::new("monte_carlo", worlds),
-            &worlds,
-            |b, _| {
-                let ev = MonteCarloEvaluator::new(&inst.graph, &inst.data, &cache);
-                b.iter(|| ev.expected_benefit(&dep.seeds, &dep.coupons))
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("monte_carlo", worlds), &worlds, |b, _| {
+            let ev = MonteCarloEvaluator::new(&inst.graph, &inst.data, &cache);
+            b.iter(|| ev.expected_benefit(&dep.seeds, &dep.coupons))
+        });
     }
     group.finish();
 }

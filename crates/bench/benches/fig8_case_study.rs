@@ -34,11 +34,9 @@ fn bench(c: &mut Criterion) {
         )
         .expect("attributes");
         let binv = policy.sc_cost * n as f64 * 0.05;
-        group.bench_with_input(
-            BenchmarkId::from_parameter(policy.name),
-            &policy,
-            |b, _| b.iter(|| s3ca(&graph, &data, binv, &S3caConfig::default())),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(policy.name), &policy, |b, _| {
+            b.iter(|| s3ca(&graph, &data, binv, &S3caConfig::default()))
+        });
     }
     group.finish();
 }

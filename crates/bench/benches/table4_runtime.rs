@@ -22,7 +22,16 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{factor}x")),
             &factor,
-            |b, &f| b.iter(|| s3ca(&inst.graph, &inst.data, inst.budget * f, &S3caConfig::default())),
+            |b, &f| {
+                b.iter(|| {
+                    s3ca(
+                        &inst.graph,
+                        &inst.data,
+                        inst.budget * f,
+                        &S3caConfig::default(),
+                    )
+                })
+            },
         );
     }
     group.finish();

@@ -11,7 +11,9 @@
 //! `experiments-out/`.
 
 use osn_gen::DatasetProfile;
-use s3crm_bench::experiments::{ablation, extensions, fig10, fig6, fig7, fig8, fig9, table3, table4};
+use s3crm_bench::experiments::{
+    ablation, extensions, fig10, fig6, fig7, fig8, fig9, table3, table4,
+};
 use s3crm_bench::{Effort, Table};
 use std::path::PathBuf;
 
@@ -55,12 +57,19 @@ fn parse_args() -> Args {
     }
     if artifacts.is_empty() {
         artifacts = [
-            "fig6", "fig7", "fig8", "fig9", "fig10", "table3", "table4", "ablation",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "table3",
+            "table4",
+            "ablation",
             "extensions",
         ]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     }
     Args {
         effort,
@@ -69,7 +78,7 @@ fn parse_args() -> Args {
     }
 }
 
-fn emit(table: Table, out_dir: &PathBuf, name: &str) {
+fn emit(table: Table, out_dir: &std::path::Path, name: &str) {
     table.print();
     if let Err(e) = table.write_csv(out_dir, &format!("{name}.csv")) {
         eprintln!("warning: could not write {name}.csv: {e}");
@@ -85,6 +94,7 @@ fn main() {
     );
     println!("# CSV output: {}\n", args.out_dir.display());
 
+    let mut unknown = false;
     for artifact in &args.artifacts {
         let t0 = std::time::Instant::now();
         match artifact.as_str() {
@@ -218,8 +228,15 @@ fn main() {
                     "ablation_evaluator",
                 );
             }
-            other => eprintln!("unknown artifact {other:?}; see --help"),
+            other => {
+                eprintln!("unknown artifact {other:?}; see --help");
+                unknown = true;
+                continue;
+            }
         }
         eprintln!("[{artifact} done in {:.1}s]\n", t0.elapsed().as_secs_f64());
+    }
+    if unknown {
+        std::process::exit(2);
     }
 }

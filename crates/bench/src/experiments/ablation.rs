@@ -25,7 +25,14 @@ pub fn phase_ablation(profile: DatasetProfile, effort: &Effort) -> Table {
         .expect("profile generation");
     let mut table = Table::new(
         format!("Ablation: S3CA phases [{}]", profile.name()),
-        &["Binv", "ID-only rate", "full rate", "gain%", "ID ms", "GPI+SCM ms"],
+        &[
+            "Binv",
+            "ID-only rate",
+            "full rate",
+            "gain%",
+            "ID ms",
+            "GPI+SCM ms",
+        ],
     );
     for factor in [0.6, 1.0, 1.4] {
         let binv = inst.budget * factor;

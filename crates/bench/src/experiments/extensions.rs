@@ -28,7 +28,10 @@ pub fn ris_vs_celf(profile: DatasetProfile, effort: &Effort) -> Table {
         .expect("profile generation");
     let cache = WorldCache::sample(&inst.graph, effort.eval_worlds, effort.seed ^ 0xC0DE);
     let mut table = Table::new(
-        format!("Extension: IM ranking stage, CELF vs RIS [{}]", profile.name()),
+        format!(
+            "Extension: IM ranking stage, CELF vs RIS [{}]",
+            profile.name()
+        ),
         &["ranking", "time_ms", "seeds", "redemption_rate", "benefit"],
     );
 

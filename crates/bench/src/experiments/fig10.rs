@@ -53,7 +53,10 @@ pub fn average_vs_opt(margins: &[f64], trials: usize, effort: &Effort) -> Table 
     headers.extend(Algorithm::PAPER_SET.iter().map(|a| a.label()));
     headers.push("OPT");
     headers.push("worst-case");
-    let mut table = Table::new("Fig 10(a): average results vs OPT (150-node nets)", &headers);
+    let mut table = Table::new(
+        "Fig 10(a): average results vs OPT (150-node nets)",
+        &headers,
+    );
 
     for &margin in margins {
         let mut sums = vec![0.0f64; Algorithm::PAPER_SET.len()];

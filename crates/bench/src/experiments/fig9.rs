@@ -30,7 +30,10 @@ pub fn synthetic_instance(n: usize, seed: u64) -> (CsrGraph, NodeData) {
 /// Running time and explored ratio vs network size — Fig. 9(a)(b).
 pub fn vs_network_size(sizes: &[usize], binv: f64, effort: &Effort) -> Table {
     let mut table = Table::new(
-        format!("Fig 9(a/b): S3CA scalability vs network size (Binv = {})", num(binv)),
+        format!(
+            "Fig 9(a/b): S3CA scalability vs network size (Binv = {})",
+            num(binv)
+        ),
         &["nodes", "edges", "time_ms", "explored_ratio"],
     );
     for &n in sizes {
@@ -87,6 +90,9 @@ mod tests {
         let t = vs_budget(400, &[50.0, 800.0], &effort);
         let lo: f64 = t.rows[0][2].parse().unwrap();
         let hi: f64 = t.rows[1][2].parse().unwrap();
-        assert!(hi >= lo, "explored ratio should grow with budget: {lo} -> {hi}");
+        assert!(
+            hi >= lo,
+            "explored ratio should grow with budget: {lo} -> {hi}"
+        );
     }
 }

@@ -78,7 +78,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+            self.headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(
@@ -151,7 +155,7 @@ mod tests {
     #[test]
     fn num_formats_by_magnitude() {
         assert_eq!(num(0.0), "0");
-        assert_eq!(num(3.14159), "3.142");
+        assert_eq!(num(3.45678), "3.457");
         assert_eq!(num(42.123), "42.1");
         assert_eq!(num(12345.6), "12346");
         assert_eq!(num(0.0001234), "1.23e-4");

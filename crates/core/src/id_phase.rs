@@ -301,12 +301,7 @@ mod tests {
         b.add_edge(0, 1, 0.9).unwrap();
         b.add_edge(1, 2, 0.1).unwrap();
         let g = b.build().unwrap();
-        let d = NodeData::new(
-            vec![1.0, 5.0, 0.1],
-            vec![0.5, 100.0, 100.0],
-            vec![1.0; 3],
-        )
-        .unwrap();
+        let d = NodeData::new(vec![1.0, 5.0, 0.1], vec![0.5, 100.0, 100.0], vec![1.0; 3]).unwrap();
         let mut tracker = ExploreTracker::new(3);
         let out = investment_deployment(&g, &d, 10.0, &mut tracker, 10_000);
         // Deployment keeps v1's coupon; v1→v2's coupon (benefit 0.1·0.1)
@@ -323,12 +318,7 @@ mod tests {
         b.add_edge(0, 1, 0.9).unwrap();
         b.add_edge(2, 3, 0.9).unwrap();
         let g = b.build().unwrap();
-        let d = NodeData::new(
-            vec![2.0; 4],
-            vec![0.5, 100.0, 0.5, 100.0],
-            vec![1.0; 4],
-        )
-        .unwrap();
+        let d = NodeData::new(vec![2.0; 4], vec![0.5, 100.0, 0.5, 100.0], vec![1.0; 4]).unwrap();
         let mut tracker = ExploreTracker::new(4);
         let out = investment_deployment(&g, &d, 10.0, &mut tracker, 10_000);
         assert_eq!(out.deployment.seeds.len(), 2, "both stars should seed");

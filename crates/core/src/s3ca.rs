@@ -115,8 +115,11 @@ pub fn s3ca(graph: &CsrGraph, data: &NodeData, binv: f64, config: &S3caConfig) -
     // at negligible cost (a handful of snapshot evaluations).
     if config.snapshot_worlds > 0 && id.snapshots.len() > 1 {
         let t_sel = Instant::now();
-        let cache =
-            osn_propagation::world::WorldCache::sample(graph, config.snapshot_worlds, config.rng_seed);
+        let cache = osn_propagation::world::WorldCache::sample(
+            graph,
+            config.snapshot_worlds,
+            config.rng_seed,
+        );
         let ev = osn_propagation::MonteCarloEvaluator::new(graph, data, &cache);
         let scored: Vec<(f64, f64, &Deployment, ObjectiveValue)> = id
             .snapshots

@@ -120,8 +120,7 @@ fn collect_candidates(
             }
             // Amelioration index against the nearest possibly activated
             // ascendant's path.
-            let Some(anchor) = nearest_activated_ascendant(forest, path.visit_index, state)
-            else {
+            let Some(anchor) = nearest_activated_ascendant(forest, path.visit_index, state) else {
                 continue;
             };
             let base = &forest.paths[anchor];
@@ -236,9 +235,8 @@ fn best_donor(
 ) -> Option<NodeId> {
     let base = SpreadState::evaluate(graph, data, &tentative.seeds, &tentative.coupons);
     let mut best: Option<(f64, NodeId)> = None;
-    for i in 0..tentative.len() {
-        let k = tentative.coupons[i];
-        if k == 0 || k <= target[i] {
+    for (i, (&k, &needed)) in tentative.coupons.iter().zip(target).enumerate() {
+        if k == 0 || k <= needed {
             continue; // no spare coupons beyond the GP's own needs
         }
         let node = NodeId::from_index(i);

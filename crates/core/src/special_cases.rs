@@ -63,10 +63,7 @@ pub fn solve_unlimited(
             }
             let mut trial = seeds.clone();
             trial.push(cand);
-            let rate = redemption_rate(
-                plain_ic_benefit(graph, data, &trial),
-                seed_cost + c,
-            );
+            let rate = redemption_rate(plain_ic_benefit(graph, data, &trial), seed_cost + c);
             if choice.as_ref().is_none_or(|(r, _, _)| rate > *r) {
                 choice = Some((rate, cand, c));
             }
@@ -117,7 +114,9 @@ pub fn solve_limited(
                 choice = Some((val.rate, cand, dep, val));
             }
         }
-        let Some((rate, cand, dep, val)) = choice else { break };
+        let Some((rate, cand, dep, val)) = choice else {
+            break;
+        };
         seeds.push(cand);
         if rate >= best_val.rate {
             best_dep = dep;
@@ -152,12 +151,8 @@ mod tests {
         b.add_edge(0, 2, 0.9).unwrap();
         b.add_edge(3, 4, 0.9).unwrap();
         let g = b.build().unwrap();
-        let d = NodeData::new(
-            vec![1.0; 5],
-            vec![1.0, 50.0, 50.0, 2.0, 50.0],
-            vec![0.5; 5],
-        )
-        .unwrap();
+        let d =
+            NodeData::new(vec![1.0; 5], vec![1.0, 50.0, 50.0, 2.0, 50.0], vec![0.5; 5]).unwrap();
         (g, d)
     }
 

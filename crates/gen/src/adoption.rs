@@ -136,7 +136,10 @@ mod tests {
         // probability — this is the paper's "more SCs are not redeemed"
         // effect for Airbnb's generous allocation.
         let p = adoption_probability(AdoptionTier::CubeRoot, 50.0);
-        assert!(p < 0.01, "cube-root adoption at c=50 should be tiny, got {p}");
+        assert!(
+            p < 0.01,
+            "cube-root adoption at c=50 should be tiny, got {p}"
+        );
         let p2 = adoption_probability(AdoptionTier::Square, 50.0);
         assert!(p2 > 0.9);
     }

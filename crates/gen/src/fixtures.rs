@@ -115,12 +115,7 @@ pub fn scm_showcase() -> Fixture {
     let graph = b.build().unwrap();
     let mut seed_costs = vec![100.0; 5];
     seed_costs[0] = 0.1;
-    let data = NodeData::new(
-        vec![1.0, 1.0, 1.0, 1.0, 50.0],
-        seed_costs,
-        vec![1.0; 5],
-    )
-    .unwrap();
+    let data = NodeData::new(vec![1.0, 1.0, 1.0, 1.0, 50.0], seed_costs, vec![1.0; 5]).unwrap();
     Fixture {
         graph,
         data,
@@ -164,11 +159,17 @@ pub fn hardness_reduction(
 ) -> Fixture {
     assert!(k >= 1 && k <= m, "need 1 ≤ k ≤ m");
     assert_eq!(designated.len(), k, "exactly k designated V_b users");
-    assert!(epsilon > 0.0 && epsilon < 0.5, "ε must be a small positive constant");
+    assert!(
+        epsilon > 0.0 && epsilon < 0.5,
+        "ε must be a small positive constant"
+    );
     let n = 1 + 2 * m;
     let mut b = GraphBuilder::new(n);
     for &i in designated {
-        assert!((1..=m as u32).contains(&i), "designated ids must lie in V_b");
+        assert!(
+            (1..=m as u32).contains(&i),
+            "designated ids must lie in V_b"
+        );
         b.add_edge(0, i, 1.0).unwrap(); // v_u -> v_b^i
     }
     for i in 1..=m as u32 {
@@ -181,8 +182,8 @@ pub fn hardness_reduction(
     for b in benefit.iter_mut().take(m + 1).skip(1) {
         *b = vb_benefit;
     }
-    for i in (m + 1)..=(2 * m) {
-        benefit[i] = 1.0;
+    for b in benefit.iter_mut().take(2 * m + 1).skip(m + 1) {
+        *b = 1.0;
     }
     let mut seed_cost = vec![1e6; n];
     seed_cost[0] = k as f64;

@@ -38,10 +38,10 @@ pub fn powerlaw_cluster<R: Rng>(
     let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
 
     let connect = |topo: &mut UndirectedTopology,
-                       endpoints: &mut Vec<u32>,
-                       adj: &mut Vec<Vec<u32>>,
-                       u: u32,
-                       v: u32| {
+                   endpoints: &mut Vec<u32>,
+                   adj: &mut Vec<Vec<u32>>,
+                   u: u32,
+                   v: u32| {
         topo.push(u, v);
         endpoints.push(u);
         endpoints.push(v);

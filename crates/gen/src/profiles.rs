@@ -134,8 +134,8 @@ impl DatasetProfile {
     /// experiments depend on. √scale splits the distortion between degree
     /// and density.
     fn attachment(self, scale: f64) -> usize {
-        let per_node = self.directed_edges() as f64
-            / (self.nodes() as f64 * (1.0 + self.reciprocity()));
+        let per_node =
+            self.directed_edges() as f64 / (self.nodes() as f64 * (1.0 + self.reciprocity()));
         ((per_node * scale.sqrt()).round() as usize).max(2)
     }
 
@@ -187,7 +187,11 @@ mod tests {
         // Budget: scale times the Table II default, floored at 25 average
         // seed costs (here avg seed cost = κ·µ = 100 → the floor and the
         // scaled default coincide at 2 500).
-        assert!((inst.budget - 2_500.0).abs() < 300.0, "budget {}", inst.budget);
+        assert!(
+            (inst.budget - 2_500.0).abs() < 300.0,
+            "budget {}",
+            inst.budget
+        );
     }
 
     #[test]
@@ -205,7 +209,11 @@ mod tests {
         let inst = DatasetProfile::Douban.generate(0.0004, 3).unwrap();
         // 25 average seed costs (κ·µ = 1000) → ≈ 25 000, far above the
         // naively scaled 400.
-        assert!(inst.budget >= 20_000.0, "budget {} below floor", inst.budget);
+        assert!(
+            inst.budget >= 20_000.0,
+            "budget {} below floor",
+            inst.budget
+        );
     }
 
     #[test]

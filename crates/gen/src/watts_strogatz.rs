@@ -15,12 +15,11 @@ use rand::Rng;
 /// # Panics
 /// Panics if `k` is odd, `k >= n`, or `beta ∉ [0, 1]`.
 pub fn watts_strogatz<R: Rng>(n: usize, k: usize, beta: f64, rng: &mut R) -> UndirectedTopology {
-    assert!(k % 2 == 0, "ring degree k must be even");
+    assert!(k.is_multiple_of(2), "ring degree k must be even");
     assert!(k < n, "ring degree must be below the node count");
     assert!((0.0..=1.0).contains(&beta), "beta must lie in [0, 1]");
     let mut topo = UndirectedTopology::new(n);
-    let mut adj: Vec<std::collections::HashSet<u32>> =
-        vec![std::collections::HashSet::new(); n];
+    let mut adj: Vec<std::collections::HashSet<u32>> = vec![std::collections::HashSet::new(); n];
 
     let connect = |adj: &mut Vec<std::collections::HashSet<u32>>, u: u32, v: u32| {
         adj[u as usize].insert(v);
@@ -91,7 +90,10 @@ mod tests {
     fn rewiring_reduces_clustering() {
         let build = |beta: f64| {
             let t = watts_strogatz(200, 8, beta, &mut seeded_rng(3));
-            t.into_directed(1.0, &mut seeded_rng(4)).unwrap().build().unwrap()
+            t.into_directed(1.0, &mut seeded_rng(4))
+                .unwrap()
+                .build()
+                .unwrap()
         };
         let lattice = clustering_coefficient(&build(0.0));
         let random = clustering_coefficient(&build(1.0));

@@ -45,7 +45,7 @@ pub fn assign_weights<R: Rng>(builder: &mut GraphBuilder, model: WeightModel, rn
             builder.reweight(|_, _, _| p);
         }
         WeightModel::Trivalency(choices) => {
-            builder.reweight(|_, _, _| choices[rng.gen_range(0..3)]);
+            builder.reweight(|_, _, _| choices[rng.gen_range(0..3usize)]);
         }
     }
 }

@@ -91,7 +91,7 @@ mod tests {
     #[test]
     fn io_error_source_is_preserved() {
         use std::error::Error;
-        let inner = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let inner = std::io::Error::other("boom");
         let e = GraphError::from(inner);
         assert!(e.source().is_some());
     }

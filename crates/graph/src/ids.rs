@@ -8,9 +8,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a user in the social network, dense in `0..n`.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct NodeId(pub u32);
 

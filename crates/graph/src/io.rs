@@ -78,10 +78,7 @@ fn parse_field(tok: Option<&str>, line: usize, what: &str) -> Result<u32, GraphE
 }
 
 /// Write a graph as an edge list with probabilities (three columns).
-pub fn write_edge_list<W: Write>(
-    graph: &crate::CsrGraph,
-    mut writer: W,
-) -> Result<(), GraphError> {
+pub fn write_edge_list<W: Write>(graph: &crate::CsrGraph, mut writer: W) -> Result<(), GraphError> {
     writeln!(writer, "# s3crm edge list: source target probability")?;
     for u in graph.nodes() {
         for (v, p) in graph.ranked_out(u) {

@@ -199,7 +199,10 @@ mod tests {
         let r = NodeData::new(vec![1.0, 2.0], vec![1.0], vec![1.0, 1.0]);
         assert!(matches!(
             r,
-            Err(GraphError::AttributeLengthMismatch { expected: 2, got: 1 })
+            Err(GraphError::AttributeLengthMismatch {
+                expected: 2,
+                got: 1
+            })
         ));
     }
 
@@ -212,8 +215,12 @@ mod tests {
 
     #[test]
     fn spreads_match_theorem_2_constants() {
-        let d = NodeData::new(vec![1.0, 4.0, 2.0], vec![2.0, 2.0, 2.0], vec![1.0, 1.0, 8.0])
-            .unwrap();
+        let d = NodeData::new(
+            vec![1.0, 4.0, 2.0],
+            vec![2.0, 2.0, 2.0],
+            vec![1.0, 1.0, 8.0],
+        )
+        .unwrap();
         assert_eq!(d.benefit_spread(), 4.0);
         // costs span {2,2,2} ∪ {1,1,8} -> max 8 / min 1.
         assert_eq!(d.cost_spread(), 8.0);

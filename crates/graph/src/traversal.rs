@@ -61,7 +61,11 @@ pub fn bfs_hops_within(graph: &CsrGraph, sources: &[NodeId], active: &[bool]) ->
 
 /// The farthest finite hop in a distance array; 0 when nothing is reached.
 pub fn farthest_hop(dist: &[u32]) -> u32 {
-    dist.iter().copied().filter(|&d| d != UNREACHED).max().unwrap_or(0)
+    dist.iter()
+        .copied()
+        .filter(|&d| d != UNREACHED)
+        .max()
+        .unwrap_or(0)
 }
 
 /// Nodes reachable from `sources` (including the sources), following

@@ -182,8 +182,7 @@ mod tests {
         let d = NodeData::uniform(3, 1.0, 1.0, 1.0);
         let mut hits = 0;
         for s in 0..200 {
-            let out =
-                simulate_cascade(&g, &d, &[NodeId(0), NodeId(1)], &[1, 0, 0], &mut rng(s));
+            let out = simulate_cascade(&g, &d, &[NodeId(0), NodeId(1)], &[1, 0, 0], &mut rng(s));
             if out.active[2] {
                 hits += 1;
             }

@@ -32,7 +32,7 @@
 //! * [`cost`] — the paper's expected-SC-cost `Csc(K(I))` (local per internal
 //!   node, Table I) and seed cost.
 //! * [`evaluator`] / [`monte_carlo`] — a common benefit-evaluator interface
-//!   with analytic and (crossbeam-parallel) Monte-Carlo implementations.
+//!   with analytic and (scoped-thread-parallel) Monte-Carlo implementations.
 //! * [`metrics`] — the reported quantities of Sec. VI: redemption rate,
 //!   total benefit, seed–SC rate, average farthest hop.
 

@@ -5,7 +5,7 @@
 //! count. Worlds are pre-sampled once per instance
 //! ([`WorldCache`](crate::world::WorldCache)) and each evaluation runs the
 //! deterministic coupon-constrained cascade per world, in parallel across
-//! crossbeam-scoped workers.
+//! `std::thread::scope` workers.
 
 use crate::evaluator::BenefitEvaluator;
 use crate::reach::{world_cascade, CascadeScratch, WorldOutcome};
@@ -67,50 +67,76 @@ impl<'a> MonteCarloEvaluator<'a> {
             .map(|p| p.get())
             .unwrap_or(1)
             .min(r);
+        // Fixed-size parts pulled from a shared counter, merged in part
+        // order: the floating-point summation grouping depends only on
+        // `PART_WORLDS`, never on the worker count, so estimates are
+        // bit-identical across machines with different core counts. The
+        // serial path below uses the identical grouping.
+        const PART_WORLDS: usize = 32;
+        let parts = r.div_ceil(PART_WORLDS);
         if workers <= 1 || r < 16 {
             let mut scratch = CascadeScratch::new(self.graph.node_count());
             let mut acc = Totals::default();
-            for w in 0..r {
-                acc.add(world_cascade(
-                    self.graph,
-                    self.data,
-                    seeds,
-                    coupons,
-                    self.cache.world(w),
-                    &mut scratch,
-                ));
+            for p in 0..parts {
+                let lo = p * PART_WORLDS;
+                let hi = (lo + PART_WORLDS).min(r);
+                let mut part = Totals::default();
+                for w in lo..hi {
+                    part.add(world_cascade(
+                        self.graph,
+                        self.data,
+                        seeds,
+                        coupons,
+                        self.cache.world(w),
+                        &mut scratch,
+                    ));
+                }
+                acc.merge(part);
             }
             return acc;
         }
-        let chunk = r.div_ceil(workers);
-        let mut acc = Totals::default();
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|t| {
-                    let lo = t * chunk;
-                    let hi = ((t + 1) * chunk).min(r);
-                    scope.spawn(move |_| {
+        let mut part_totals: Vec<Option<Totals>> = vec![None; parts];
+        let next_part = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers.min(parts))
+                .map(|_| {
+                    let next_part = &next_part;
+                    scope.spawn(move || {
                         let mut scratch = CascadeScratch::new(self.graph.node_count());
-                        let mut part = Totals::default();
-                        for w in lo..hi {
-                            part.add(world_cascade(
-                                self.graph,
-                                self.data,
-                                seeds,
-                                coupons,
-                                self.cache.world(w),
-                                &mut scratch,
-                            ));
+                        let mut done: Vec<(usize, Totals)> = Vec::new();
+                        loop {
+                            let p = next_part.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if p >= parts {
+                                return done;
+                            }
+                            let lo = p * PART_WORLDS;
+                            let hi = (lo + PART_WORLDS).min(r);
+                            let mut part = Totals::default();
+                            for w in lo..hi {
+                                part.add(world_cascade(
+                                    self.graph,
+                                    self.data,
+                                    seeds,
+                                    coupons,
+                                    self.cache.world(w),
+                                    &mut scratch,
+                                ));
+                            }
+                            done.push((p, part));
                         }
-                        part
                     })
                 })
                 .collect();
             for h in handles {
-                acc.merge(h.join().expect("monte-carlo worker panicked"));
+                for (p, t) in h.join().expect("monte-carlo worker panicked") {
+                    part_totals[p] = Some(t);
+                }
             }
-        })
-        .expect("monte-carlo scope panicked");
+        });
+        let mut acc = Totals::default();
+        for t in part_totals {
+            acc.merge(t.expect("every part processed exactly once"));
+        }
         acc
     }
 }
@@ -270,8 +296,7 @@ mod tests {
         let mut scratch = CascadeScratch::new(7);
         let mut sum = 0.0;
         for w in 0..64 {
-            sum += world_cascade(&g, &d, &[NodeId(0)], &k, cache.world(w), &mut scratch)
-                .benefit;
+            sum += world_cascade(&g, &d, &[NodeId(0)], &k, cache.world(w), &mut scratch).benefit;
         }
         assert!((par.expected_benefit - sum / 64.0).abs() < 1e-12);
     }
@@ -281,7 +306,10 @@ mod tests {
         let (g, d) = example1();
         let cache = WorldCache::sample(&g, 0, 1);
         let ev = MonteCarloEvaluator::new(&g, &d, &cache);
-        assert_eq!(ev.simulate(&[NodeId(0)], &[0; 7]), SimulationStats::default());
+        assert_eq!(
+            ev.simulate(&[NodeId(0)], &[0; 7]),
+            SimulationStats::default()
+        );
     }
 
     #[test]

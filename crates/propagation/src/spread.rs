@@ -124,7 +124,14 @@ impl SpreadState {
             if k == 0 {
                 continue;
             }
-            collect_eligible(graph, &seed_mask, &levels, u, &mut elig_targets, &mut elig_probs);
+            collect_eligible(
+                graph,
+                &seed_mask,
+                &levels,
+                u,
+                &mut elig_targets,
+                &mut elig_probs,
+            );
             if elig_targets.is_empty() {
                 continue;
             }
@@ -196,7 +203,14 @@ impl SpreadState {
             if k == 0 {
                 continue;
             }
-            collect_eligible(graph, &seed_mask, &levels, u, &mut elig_targets, &mut elig_probs);
+            collect_eligible(
+                graph,
+                &seed_mask,
+                &levels,
+                u,
+                &mut elig_targets,
+                &mut elig_probs,
+            );
             let q = redemption_probs(&elig_probs, k);
             let mut gain = data.benefit(u);
             for (&v, &qj) in elig_targets.iter().zip(q.iter()) {
@@ -268,7 +282,14 @@ impl SpreadState {
         let k_old = self.coupons[u.index()];
         let mut targets = Vec::new();
         let mut probs = Vec::new();
-        collect_eligible(graph, &self.seed_mask, &self.levels, u, &mut targets, &mut probs);
+        collect_eligible(
+            graph,
+            &self.seed_mask,
+            &self.levels,
+            u,
+            &mut targets,
+            &mut probs,
+        );
         if targets.is_empty() {
             return (0.0, 0.0);
         }
@@ -310,12 +331,7 @@ fn collect_eligible(
 /// Benefit and total cost of a standalone "seed package": `v` activated as a
 /// seed with `k` coupons, evaluated in isolation (the quantity the ID phase
 /// ranks its pivot-source queue by).
-pub fn standalone_package(
-    graph: &CsrGraph,
-    data: &NodeData,
-    v: NodeId,
-    k: u32,
-) -> (f64, f64) {
+pub fn standalone_package(graph: &CsrGraph, data: &NodeData, v: NodeId, k: u32) -> (f64, f64) {
     let probs = graph.out_probs(v);
     let q = redemption_probs(probs, k);
     let mut benefit = data.benefit(v);

@@ -37,12 +37,12 @@ impl WorldCache {
         } else {
             let chunk = count.div_ceil(workers);
             let mut parts: Vec<Vec<BitVec>> = Vec::with_capacity(workers);
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..workers)
                     .map(|t| {
                         let lo = t * chunk;
                         let hi = ((t + 1) * chunk).min(count);
-                        scope.spawn(move |_| {
+                        scope.spawn(move || {
                             (lo..hi)
                                 .map(|w| sample_world(probs, seed, w as u64))
                                 .collect::<Vec<_>>()
@@ -52,8 +52,7 @@ impl WorldCache {
                 for h in handles {
                     parts.push(h.join().expect("world sampling worker panicked"));
                 }
-            })
-            .expect("world sampling scope panicked");
+            });
             for p in parts {
                 worlds.extend(p);
             }

@@ -10,7 +10,7 @@ use proptest::prelude::*;
 fn tree_strategy() -> impl Strategy<Value = Vec<(u32, u32, f64)>> {
     // A random out-tree over ≤ 20 nodes: parent of node i is drawn from
     // 0..i, making cycles impossible.
-    proptest::collection::vec((0.0f64..=1.0f64), 1..20).prop_perturb(|probs, mut rng| {
+    proptest::collection::vec(0.0f64..=1.0f64, 1..20).prop_perturb(|probs, mut rng| {
         probs
             .iter()
             .enumerate()

@@ -69,11 +69,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let result = s3ca(&graph, &data, budget, &S3caConfig::default());
     println!(
         "\nS3CA on the loaded network (budget {budget:.0}):\n  {} seeds, {} coupons, \
-         redemption rate {:.3}, explored {:.1}% of the graph in {:.1} ms",
+         redemption rate {:.3}, explored {} of the graph in {:.1} ms",
         result.deployment.seeds.len(),
         result.deployment.total_coupons(),
         result.objective.rate,
-        result.telemetry.explored_ratio * 100.0,
+        s3crm_examples::pct(result.telemetry.explored_ratio),
         result.telemetry.total_micros() as f64 / 1e3
     );
     Ok(())

@@ -31,11 +31,11 @@ fn main() {
         let (graph, data) = instance(n, 31);
         let r = s3ca(&graph, &data, 500.0, &S3caConfig::default());
         println!(
-            "{:>8} {:>10} {:>10.1} {:>15.4}",
+            "{:>8} {:>10} {:>10.1} {:>15}",
             n,
             graph.edge_count(),
             r.telemetry.total_micros() as f64 / 1e3,
-            r.telemetry.explored_ratio
+            s3crm_examples::pct(r.telemetry.explored_ratio)
         );
     }
 
@@ -48,10 +48,10 @@ fn main() {
     for binv in [125.0, 250.0, 500.0, 1000.0, 2000.0] {
         let r = s3ca(&graph, &data, binv, &S3caConfig::default());
         println!(
-            "{:>8} {:>10.1} {:>15.4} {:>8}",
+            "{:>8} {:>10.1} {:>15} {:>8}",
             binv,
             r.telemetry.total_micros() as f64 / 1e3,
-            r.telemetry.explored_ratio,
+            s3crm_examples::pct(r.telemetry.explored_ratio),
             r.deployment.seeds.len()
         );
     }

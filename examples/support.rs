@@ -1,5 +1,7 @@
 //! Shared helpers for the example binaries (pretty-printing deployments).
-//! The real content lives in the `examples/*.rs` binaries; see
+//! This file is the `s3crm_examples` library (see `crates/examples/
+//! Cargo.toml`), so every example can `use s3crm_examples::pct`. The real
+//! content lives in the `examples/*.rs` binaries; see
 //! `cargo run -p s3crm-examples --example quickstart`.
 
 /// Format a fractional value as a percentage string with one decimal.

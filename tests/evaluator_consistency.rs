@@ -42,8 +42,8 @@ fn exact_on_random_trees() {
         // Coupons on the first two levels.
         let mut k = vec![0u32; n];
         k[0] = 2;
-        for v in 1..10usize.min(n) {
-            k[v] = 1;
+        for kv in k.iter_mut().take(10usize.min(n)).skip(1) {
+            *kv = 1;
         }
         let cache = WorldCache::sample(&g, 30_000, seed ^ 0xF00D);
         let analytic = AnalyticEvaluator::new(&g, &d).expected_benefit(&[NodeId(0)], &k);
@@ -70,14 +70,17 @@ fn close_on_random_graphs() {
         let mut rng = seeded_rng(seed);
         let topo = erdos_renyi::gnm(120, 240, &mut rng);
         let mut builder = topo.into_directed(0.5, &mut rng).unwrap();
-        weights::assign_weights(&mut builder, weights::WeightModel::InverseInDegree, &mut rng);
+        weights::assign_weights(
+            &mut builder,
+            weights::WeightModel::InverseInDegree,
+            &mut rng,
+        );
         let g = builder.build().unwrap();
         let n = g.node_count();
         let d = NodeData::uniform(n, 1.0, 1.0, 1.0);
-        let mut k = vec![0u32; n];
-        for v in 0..n {
-            k[v] = g.out_degree(NodeId(v as u32)).min(2) as u32;
-        }
+        let k: Vec<u32> = (0..n)
+            .map(|v| g.out_degree(NodeId(v as u32)).min(2) as u32)
+            .collect();
         let seeds = [NodeId(0), NodeId(1)];
         let cache = WorldCache::sample(&g, 20_000, seed ^ 0xBEEF);
         let analytic = AnalyticEvaluator::new(&g, &d).expected_benefit(&seeds, &k);
@@ -108,8 +111,7 @@ fn stochastic_cascade_matches_world_reachability() {
     let mut rng = seeded_rng(42);
     let mut sum = 0.0;
     for _ in 0..trials {
-        sum +=
-            osn_propagation::simulate_cascade(&g, &d, &[NodeId(0)], &k, &mut rng).benefit;
+        sum += osn_propagation::simulate_cascade(&g, &d, &[NodeId(0)], &k, &mut rng).benefit;
     }
     let fresh = sum / trials as f64;
 

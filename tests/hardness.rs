@@ -38,13 +38,21 @@ fn opt_solves_the_embedded_coverage_instance() {
     // v_u holds exactly k coupons (k = out-degree here).
     assert_eq!(dep.coupons[0], k as u32);
     // The designated V_b users relay (1 coupon each, at zero V_a cost).
-    assert!(dep.coupons[1] >= 1 && dep.coupons[3] >= 1, "{:?}", dep.coupons);
+    assert!(
+        dep.coupons[1] >= 1 && dep.coupons[3] >= 1,
+        "{:?}",
+        dep.coupons
+    );
 
     // Value: benefit = ε + k·1 (all edges have probability 1);
     // cost = k (seed) + k·ε (coupons into V_b) + 0 (coupons into V_a).
     let expect_benefit = eps + k as f64;
     let expect_cost = k as f64 + k as f64 * eps;
-    assert!((val.benefit - expect_benefit).abs() < 1e-9, "benefit {}", val.benefit);
+    assert!(
+        (val.benefit - expect_benefit).abs() < 1e-9,
+        "benefit {}",
+        val.benefit
+    );
     assert!(
         (val.total_cost() - expect_cost).abs() < 1e-9,
         "cost {}",
@@ -84,7 +92,10 @@ fn regularized_gadget_restores_the_guarantee() {
     let f = hardness_reduction(m, k, &[2, 4], 0.01, 0.05);
     let greedy = s3ca(&f.graph, &f.data, f.budget, &S3caConfig::default());
     assert_eq!(greedy.deployment.seeds, vec![NodeId(0)]);
-    assert_eq!(greedy.deployment.coupons[0], k as u32, "both coupons bought");
+    assert_eq!(
+        greedy.deployment.coupons[0], k as u32,
+        "both coupons bought"
+    );
     // Both designated relays funded → both counterparts active.
     let expect_benefit = 0.01 + 2.0 * 0.05 + 2.0;
     assert!(

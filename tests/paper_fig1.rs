@@ -33,7 +33,10 @@ fn pm_package_numbers() {
     assert!((b - 6.15).abs() < EPS);
     assert!((c - 2.05).abs() < EPS);
     assert!((r - 3.0).abs() < EPS);
-    assert!((b - f.data.seed_cost(NodeId(0)) - 5.15).abs() < EPS, "profit");
+    assert!(
+        (b - f.data.seed_cost(NodeId(0)) - 5.15).abs() < EPS,
+        "profit"
+    );
 }
 
 #[test]

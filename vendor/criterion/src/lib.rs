@@ -1,0 +1,306 @@
+//! Offline micro-benchmark harness exposing the subset of the `criterion`
+//! API the S3CRM benches use.
+//!
+//! Differences from upstream, by design (the build environment cannot fetch
+//! crates.io): no statistical analysis, plots, or saved baselines. Each
+//! benchmark warms up for `warm_up_time`, then runs timed batches until
+//! `measurement_time` elapses or `sample_size` samples are collected, and
+//! prints `group/id  mean ± spread` to stdout.
+//!
+//! Running with `--test` (what `cargo test --benches` passes) executes every
+//! benchmark closure exactly once so CI can smoke the benches cheaply.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-sample timing loop handed to benchmark closures.
+pub struct Bencher {
+    mode: Mode,
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Measure { sample_size: usize },
+    TestOnce,
+}
+
+impl Bencher {
+    /// Time `f`, collecting one duration per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        match self.mode {
+            Mode::TestOnce => {
+                black_box(f());
+            }
+            Mode::Measure { sample_size } => {
+                self.samples.clear();
+                for _ in 0..sample_size {
+                    let start = Instant::now();
+                    for _ in 0..self.iters_per_sample {
+                        black_box(f());
+                    }
+                    self.samples
+                        .push(start.elapsed() / self.iters_per_sample as u32);
+                }
+            }
+        }
+    }
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+/// Declared throughput of one benchmark iteration.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+    BytesDecimal(u64),
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--bench" => {}
+                a if a.starts_with('-') => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion { test_mode, filter }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, group_name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: group_name.into(),
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let name = id.to_string();
+        let (test_mode, skip) = (self.test_mode, self.skips(&name));
+        if !skip {
+            run_one(
+                &name,
+                test_mode,
+                100,
+                Duration::from_secs(3),
+                Duration::from_secs(5),
+                None,
+                &mut f,
+            );
+        }
+        self
+    }
+
+    fn skips(&self, name: &str) -> bool {
+        self.filter.as_deref().is_some_and(|f| !name.contains(f))
+    }
+}
+
+/// A named group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        if !self.criterion.skips(&full) {
+            run_one(
+                &full,
+                self.criterion.test_mode,
+                self.sample_size,
+                self.warm_up_time,
+                self.measurement_time,
+                self.throughput,
+                &mut f,
+            );
+        }
+        self
+    }
+
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    test_mode: bool,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    if test_mode {
+        let mut b = Bencher {
+            mode: Mode::TestOnce,
+            samples: Vec::new(),
+            iters_per_sample: 1,
+        };
+        f(&mut b);
+        println!("test {name} ... ok");
+        return;
+    }
+
+    // Warm-up: run the closure once to estimate per-iteration cost, then
+    // pick an iteration count that fits the measurement budget.
+    let mut probe = Bencher {
+        mode: Mode::Measure { sample_size: 1 },
+        samples: Vec::new(),
+        iters_per_sample: 1,
+    };
+    let warm_start = Instant::now();
+    while warm_start.elapsed() < warm_up_time {
+        f(&mut probe);
+        if probe.samples.last().is_some_and(|d| *d > warm_up_time) {
+            break;
+        }
+    }
+    let per_iter = probe
+        .samples
+        .last()
+        .copied()
+        .unwrap_or(Duration::from_nanos(1))
+        .max(Duration::from_nanos(1));
+    let budget_per_sample = measurement_time.div_f64(sample_size as f64);
+    let iters = (budget_per_sample.as_secs_f64() / per_iter.as_secs_f64()).clamp(1.0, 1e6) as u64;
+
+    let mut b = Bencher {
+        mode: Mode::Measure { sample_size },
+        samples: Vec::new(),
+        iters_per_sample: iters,
+    };
+    f(&mut b);
+
+    if b.samples.is_empty() {
+        println!("{name:<48} (no samples)");
+        return;
+    }
+    let mean = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
+    let min = b.samples.iter().min().copied().unwrap_or(mean);
+    let max = b.samples.iter().max().copied().unwrap_or(mean);
+    let rate = throughput.and_then(|t| match t {
+        Throughput::Elements(n) if mean > Duration::ZERO => Some(format!(
+            "  {:.3} Melem/s",
+            n as f64 / mean.as_secs_f64() / 1e6
+        )),
+        Throughput::Bytes(n) | Throughput::BytesDecimal(n) if mean > Duration::ZERO => {
+            Some(format!(
+                "  {:.3} MiB/s",
+                n as f64 / mean.as_secs_f64() / (1024.0 * 1024.0)
+            ))
+        }
+        _ => None,
+    });
+    println!(
+        "{name:<48} mean {mean:>10.3?}  [min {min:.3?}, max {max:.3?}]{}",
+        rate.unwrap_or_default()
+    );
+}
+
+/// Group benchmark functions into one registration point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` for a benchmark executable.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

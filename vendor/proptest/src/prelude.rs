@@ -1,0 +1,5 @@
+//! One-stop imports for property tests (subset of upstream prelude).
+
+pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};

@@ -1,0 +1,80 @@
+//! Test-runner types: configuration, case outcome, and the test RNG.
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SampleRange, SeedableRng, Standard};
+
+/// Per-test configuration (subset of upstream `ProptestConfig`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of *accepted* cases each property must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Outcome of a single generated case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case's assumptions were not met; try another input.
+    Reject,
+    /// An assertion failed.
+    Fail(String),
+}
+
+/// The RNG handed to strategies and `prop_perturb` closures.
+///
+/// Seeded deterministically from the test name (FNV-1a), optionally XOR-ed
+/// with the `PROPTEST_SEED` environment variable, so failures reproduce
+/// without a persistence file. Exposes inherent `gen`/`gen_range`/`gen_bool`
+/// so closures need no trait imports.
+#[derive(Clone, Debug)]
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in name.as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        if let Ok(var) = std::env::var("PROPTEST_SEED") {
+            if let Ok(extra) = var.trim().parse::<u64>() {
+                h ^= extra;
+            }
+        }
+        TestRng(SmallRng::seed_from_u64(h))
+    }
+
+    /// Split off an independent generator (used by `prop_perturb`).
+    pub fn fork(&mut self) -> Self {
+        TestRng(SmallRng::seed_from_u64(self.0.next_u64()))
+    }
+
+    pub fn gen<T: Standard>(&mut self) -> T {
+        T::sample(&mut self.0)
+    }
+
+    pub fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(&mut self.0)
+    }
+
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}

@@ -1,0 +1,30 @@
+//! Named generators (subset of `rand::rngs`).
+
+use crate::xoshiro::Xoshiro256PlusPlus;
+use crate::{RngCore, SeedableRng};
+
+/// A small, fast, non-cryptographic RNG (xoshiro256++), mirroring upstream
+/// `SmallRng` on 64-bit targets. Deterministic per seed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SmallRng(Xoshiro256PlusPlus);
+
+impl RngCore for SmallRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+impl SeedableRng for SmallRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, word) in s.iter_mut().enumerate() {
+            let mut bytes = [0u8; 8];
+            bytes.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+            *word = u64::from_le_bytes(bytes);
+        }
+        SmallRng(Xoshiro256PlusPlus::from_state(s))
+    }
+}

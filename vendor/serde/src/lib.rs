@@ -1,0 +1,20 @@
+//! Offline no-op subset of `serde`.
+//!
+//! The S3CRM workspace derives `Serialize`/`Deserialize` on its public data
+//! types so downstream users can persist them, but nothing in-tree performs
+//! serialization yet and the build environment cannot fetch the real crate.
+//! This stub keeps the derive attributes compiling: the traits are empty
+//! markers and the derive macros (in `serde_derive`) expand to nothing.
+//!
+//! When network access to crates.io is available, deleting `vendor/serde`
+//! and `vendor/serde_derive` and dropping the `[patch]`-free path deps from
+//! the workspace manifest restores the real crate with no source changes.
+
+/// Marker for types that would implement `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker for types that would implement `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

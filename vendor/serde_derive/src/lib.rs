@@ -1,0 +1,17 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde stub.
+//!
+//! Each derive accepts the `#[serde(...)]` helper attribute (so annotations
+//! like `#[serde(transparent)]` parse) and expands to an empty token stream:
+//! no trait impl is emitted because nothing in the workspace serializes yet.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
