@@ -6,17 +6,21 @@
 //! IC (no coupon constraint — IM is oblivious to SC allocation, which is
 //! the paper's whole point). To keep the first CELF sweep affordable the
 //! candidate pool is restricted to the highest out-degree users (a standard
-//! IM engineering practice; the pool size is configurable).
+//! IM engineering practice; the pool size is configurable), and the
+//! whole-pool round-0 sweep fans out on the shared work-stealing pool
+//! (per-candidate gains land in index-order slots, so the ranking is
+//! independent of the worker count).
 //!
 //! The paper then pairs the ranking with a coupon strategy and sweeps the
 //! seed size over `|V|/2^n (n = 0..10)`, keeping the size of maximum
-//! influence among those whose total cost fits `Binv`.
+//! influence among those whose total cost fits `Binv` — all sweep sizes are
+//! scored in one batched pass over the world cache.
 
 use crate::common::{deployment_with_strategy, seed_size_sweep, value_of};
 use crate::strategy::CouponStrategy;
 use osn_graph::{CsrGraph, NodeData, NodeId};
-use osn_propagation::reach::{world_cascade, CascadeScratch};
 use osn_propagation::world::WorldCache;
+use osn_propagation::{DeploymentRef, MonteCarloEvaluator};
 use s3crm_core::deployment::Deployment;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -69,12 +73,26 @@ impl PartialOrd for CelfEntry {
     }
 }
 
-/// Greedy influence ranking with CELF over `cache`.
+/// Greedy influence ranking with CELF over `cache`, fanning round 0 out on
+/// the shared [`osn_pool::global`] pool.
 pub fn greedy_seed_ranking(
     graph: &CsrGraph,
     cache: &WorldCache,
     candidate_pool: usize,
     max_seeds: usize,
+) -> Vec<NodeId> {
+    greedy_seed_ranking_on(graph, cache, candidate_pool, max_seeds, osn_pool::global())
+}
+
+/// [`greedy_seed_ranking`] on an explicit worker pool. The pool size never
+/// changes the ranking (gains land in index-order slots); tests pin that
+/// with size-1 and size-2 pools, mirroring the evaluator's `with_pool`.
+pub fn greedy_seed_ranking_on(
+    graph: &CsrGraph,
+    cache: &WorldCache,
+    candidate_pool: usize,
+    max_seeds: usize,
+    workers: &osn_pool::ThreadPool,
 ) -> Vec<NodeId> {
     let n = graph.node_count();
     if n == 0 || max_seeds == 0 {
@@ -101,10 +119,15 @@ pub fn greedy_seed_ranking(
         total as f64 / cache.len().max(1) as f64
     };
 
+    // Round 0 touches every candidate — fan it out on the shared pool.
+    // Gains land in index-order slots, so the heap (and thus the ranking)
+    // is identical at any worker count.
+    let gains: Vec<f64> = workers.map_indexed(pool.len(), |i| marginal(pool[i], &active));
     let mut heap: BinaryHeap<CelfEntry> = pool
         .iter()
-        .map(|&v| CelfEntry {
-            gain: marginal(v, &active),
+        .zip(gains)
+        .map(|(&v, gain)| CelfEntry {
+            gain,
             node: v,
             round: 0,
         })
@@ -220,7 +243,10 @@ pub fn im_with_strategy(
 /// The paper's seed-size sweep over a precomputed influence ranking: try
 /// prefixes of size `|V|/2^n`, keep the budget-feasible one of maximum
 /// influence. Shared by the CELF-greedy ranking above and the RIS ranking
-/// of [`ris`](crate::ris).
+/// of [`ris`](crate::ris). All feasible prefixes are scored by **one
+/// batched pass** over the world cache ("the seed size resulting in the
+/// maximum influence is selected": influence is the mean activated count
+/// under the strategy's coupons, with unit benefits).
 pub fn best_feasible_prefix(
     graph: &CsrGraph,
     data: &NodeData,
@@ -229,43 +255,56 @@ pub fn best_feasible_prefix(
     ranking: &[NodeId],
     cache: &WorldCache,
 ) -> Deployment {
-    let mut best: Option<(f64, Deployment)> = None;
+    best_feasible_prefix_on(
+        graph,
+        data,
+        binv,
+        strategy,
+        ranking,
+        cache,
+        osn_pool::global(),
+    )
+}
+
+/// [`best_feasible_prefix`] scoring its batch on an explicit worker pool,
+/// mirroring the `_on`/`with_pool` pattern of the other parallel entry
+/// points so tests can force pool sizes.
+pub fn best_feasible_prefix_on(
+    graph: &CsrGraph,
+    data: &NodeData,
+    binv: f64,
+    strategy: CouponStrategy,
+    ranking: &[NodeId],
+    cache: &WorldCache,
+    workers: &osn_pool::ThreadPool,
+) -> Deployment {
+    let mut candidates: Vec<Deployment> = Vec::new();
     for size in seed_size_sweep(graph.node_count()) {
         if size > ranking.len() {
             continue;
         }
         let dep = deployment_with_strategy(graph, data, binv, &ranking[..size], strategy);
         let value = value_of(graph, data, &dep);
-        if !value.within_budget(binv) {
-            continue; // larger prefixes only cost more
-        }
-        // "the seed size resulting in the maximum influence is selected":
-        // influence estimated on the shared worlds with the strategy coupons.
-        let infl = influence_with_coupons(graph, cache, &dep);
-        if best.as_ref().is_none_or(|(b, _)| infl > *b) {
-            best = Some((infl, dep));
+        if value.within_budget(binv) {
+            candidates.push(dep);
         }
     }
-    best.map(|(_, d)| d)
-        .unwrap_or_else(|| Deployment::empty(graph.node_count()))
-}
-
-fn influence_with_coupons(graph: &CsrGraph, cache: &WorldCache, dep: &Deployment) -> f64 {
+    if candidates.is_empty() {
+        return Deployment::empty(graph.node_count());
+    }
     let unit = NodeData::uniform(graph.node_count(), 1.0, 0.0, 0.0);
-    let mut scratch = CascadeScratch::new(graph.node_count());
-    let mut total = 0usize;
-    for w in 0..cache.len() {
-        total += world_cascade(
-            graph,
-            &unit,
-            &dep.seeds,
-            &dep.coupons,
-            cache.world(w),
-            &mut scratch,
-        )
-        .activated;
+    let ev = MonteCarloEvaluator::with_pool(graph, &unit, cache, workers);
+    let batch: Vec<DeploymentRef<'_>> = candidates.iter().map(DeploymentRef::from).collect();
+    let influences = ev.simulate_batch(&batch);
+    // Strictly-greater keeps the smallest of tied sizes, matching the old
+    // ascending serial sweep.
+    let mut best = 0;
+    for (i, stats) in influences.iter().enumerate().skip(1) {
+        if stats.mean_activated > influences[best].mean_activated {
+            best = i;
+        }
     }
-    total as f64 / cache.len().max(1) as f64
+    candidates.swap_remove(best)
 }
 
 #[cfg(test)]

@@ -4,7 +4,11 @@
 //! influenced users minus seed cost; Fig. 1(b) computes exactly this), with
 //! the coupon strategy supplying the SC allocation and the budget bounding
 //! the total cost. Candidate evaluation is analytic; the pool is restricted
-//! to the highest out-degree users like the IM baseline.
+//! to the highest out-degree users like the IM baseline. Each greedy round
+//! submits the whole candidate pool as one batch to the shared
+//! work-stealing pool; per-candidate results come back in pool order, and
+//! the serial reduction keeps the original first-maximum tie-breaking, so
+//! selections are identical at any worker count.
 
 use crate::common::{deployment_with_strategy, value_of};
 use crate::strategy::CouponStrategy;
@@ -29,13 +33,29 @@ impl Default for PmConfig {
     }
 }
 
-/// Greedy profit maximization paired with a coupon strategy.
+/// Greedy profit maximization paired with a coupon strategy, scoring each
+/// round's candidates on the shared [`osn_pool::global`] pool.
 pub fn pm_with_strategy(
     graph: &CsrGraph,
     data: &NodeData,
     binv: f64,
     strategy: CouponStrategy,
     cfg: &PmConfig,
+) -> Deployment {
+    pm_with_strategy_on(graph, data, binv, strategy, cfg, osn_pool::global())
+}
+
+/// [`pm_with_strategy`] on an explicit worker pool. The pool size never
+/// changes the selection (results reduce in pool order with first-maximum
+/// tie-breaking); tests pin that with size-1 and size-2 pools, mirroring
+/// the evaluator's `with_pool`.
+pub fn pm_with_strategy_on(
+    graph: &CsrGraph,
+    data: &NodeData,
+    binv: f64,
+    strategy: CouponStrategy,
+    cfg: &PmConfig,
+    workers: &osn_pool::ThreadPool,
 ) -> Deployment {
     let n = graph.node_count();
     let mut pool: Vec<NodeId> = graph.nodes().collect();
@@ -47,29 +67,38 @@ pub fn pm_with_strategy(
     let mut current_seed_cost = 0.0;
 
     while seeds.len() < cfg.max_seeds {
-        let mut best: Option<(f64, NodeId, Deployment, f64)> = None;
-        for &cand in &pool {
+        // Batched marginal-gain evaluation: every candidate's trial
+        // deployment is scored on the shared pool; `None` marks candidates
+        // that are already seeded, infeasible, or unprofitable.
+        let evals: Vec<Option<(f64, f64)>> = workers.map_indexed(pool.len(), |i| {
+            let cand = pool[i];
             if seeds.contains(&cand) {
-                continue;
+                return None;
             }
             let mut trial_seeds = seeds.clone();
             trial_seeds.push(cand);
             let dep = deployment_with_strategy(graph, data, binv, &trial_seeds, strategy);
             let value = value_of(graph, data, &dep);
             if !value.within_budget(binv) {
-                continue;
+                return None;
             }
             // Marginal profit of adding `cand`.
             let profit_gain =
                 (value.benefit - value.seed_cost) - (current_benefit - current_seed_cost);
-            if profit_gain <= 0.0 {
+            (profit_gain > 0.0).then_some((profit_gain, value.benefit))
+        });
+        // Reduce in pool order with strictly-greater comparisons — the same
+        // first-maximum tie-breaking as the former serial loop.
+        let mut best: Option<(f64, NodeId, f64)> = None;
+        for (&cand, eval) in pool.iter().zip(evals) {
+            let Some((profit_gain, benefit)) = eval else {
                 continue;
-            }
-            if best.as_ref().is_none_or(|(g, _, _, _)| profit_gain > *g) {
-                best = Some((profit_gain, cand, dep, value.benefit));
+            };
+            if best.as_ref().is_none_or(|&(g, _, _)| profit_gain > g) {
+                best = Some((profit_gain, cand, benefit));
             }
         }
-        let Some((_, cand, _, benefit)) = best else {
+        let Some((_, cand, benefit)) = best else {
             break;
         };
         seeds.push(cand);

@@ -107,7 +107,10 @@ pub fn ris_seed_ranking(graph: &CsrGraph, cfg: &RisConfig, max_seeds: usize) -> 
 
 /// RIS-ranked IM paired with a coupon strategy — a drop-in alternative to
 /// [`im_with_strategy`](crate::im::im_with_strategy) whose ranking stage
-/// scales to graphs where forward CELF becomes too slow.
+/// scales to graphs where forward CELF becomes too slow. The seed-size
+/// sweep rides on the batched
+/// [`best_feasible_prefix`](crate::im::best_feasible_prefix): every
+/// feasible prefix is scored in one pass over the evaluation worlds.
 pub fn ris_with_strategy(
     graph: &CsrGraph,
     data: &osn_graph::NodeData,

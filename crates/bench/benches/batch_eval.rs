@@ -1,0 +1,70 @@
+//! Batched vs. serial marginal-gain evaluation — the acceptance benchmark
+//! of the shared-pool/batching PR: `simulate_batch` over N candidates must
+//! beat N serial `simulate` calls on the Table IV grid. Both paths produce
+//! bit-identical statistics (pinned by `tests/determinism.rs`); only the
+//! number of passes over the world cache differs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use osn_gen::DatasetProfile;
+use osn_graph::NodeId;
+use osn_propagation::world::WorldCache;
+use osn_propagation::{DeploymentRef, MonteCarloEvaluator};
+use s3crm_bench::Effort;
+use std::time::Duration;
+
+const CANDIDATES: usize = 16;
+
+fn bench(c: &mut Criterion) {
+    let effort = Effort::quick();
+    let inst = DatasetProfile::Facebook
+        .generate(effort.profile_scale(DatasetProfile::Facebook), effort.seed)
+        .expect("generation");
+    let cache = WorldCache::sample(&inst.graph, effort.eval_worlds, effort.seed ^ 0x0E7A_15A1);
+    let ev = MonteCarloEvaluator::new(&inst.graph, &inst.data, &cache);
+
+    // Candidate list shaped like S3CA's milestone snapshots: growing
+    // highest-degree seed prefixes with degree-capped coupon allocations.
+    let n = inst.graph.node_count();
+    let mut by_degree: Vec<NodeId> = inst.graph.nodes().collect();
+    by_degree.sort_by_key(|&v| std::cmp::Reverse(inst.graph.out_degree(v)));
+    let candidates: Vec<(Vec<NodeId>, Vec<u32>)> = (1..=CANDIDATES)
+        .map(|s| {
+            let seeds: Vec<NodeId> = by_degree[..s].to_vec();
+            let mut coupons = vec![0u32; n];
+            for &v in &seeds {
+                coupons[v.index()] = (inst.graph.out_degree(v) as u32).min(4);
+            }
+            (seeds, coupons)
+        })
+        .collect();
+    let batch: Vec<DeploymentRef<'_>> = candidates
+        .iter()
+        .map(|(seeds, coupons)| DeploymentRef { seeds, coupons })
+        .collect();
+
+    let mut group = c.benchmark_group("batch_eval");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    group.bench_function("serial_16x_simulate", |b| {
+        b.iter(|| {
+            candidates
+                .iter()
+                .map(|(seeds, coupons)| ev.simulate(seeds, coupons).expected_benefit)
+                .sum::<f64>()
+        })
+    });
+    group.bench_function("one_batch_of_16", |b| {
+        b.iter(|| {
+            ev.simulate_batch(black_box(&batch))
+                .iter()
+                .map(|s| s.expected_benefit)
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

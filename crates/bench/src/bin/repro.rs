@@ -44,11 +44,27 @@ fn parse_args() -> Args {
                 let v = it.next().expect("--seed needs a value");
                 effort.seed = v.parse().expect("--seed must be an integer");
             }
+            "--pool-size" => {
+                let v = it.next().expect("--pool-size needs a value");
+                let threads: usize = v
+                    .parse()
+                    .ok()
+                    .filter(|&t| t >= 1)
+                    .expect("--pool-size must be a positive integer");
+                // Construct the shared worker pool once, up front; every
+                // evaluator in every experiment folds on it. Results are
+                // bit-identical at any size (the determinism contract) —
+                // the flag exists for perf tuning and for CI's 2-worker
+                // drift check. The pool cannot be resized once built, so a
+                // repeated flag is an error rather than silently ignored.
+                osn_pool::init_global(threads).expect("duplicate --pool-size: pool already built");
+            }
             "--out" => out_dir = PathBuf::from(it.next().expect("--out needs a path")),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: repro [--full|--micro] [--scale X] [--worlds N] [--seed N] \
-                     [--out DIR] [fig6 fig7 fig8 fig9 fig10 table3 table4 ablation extensions]..."
+                     [--pool-size N] [--out DIR] \
+                     [fig6 fig7 fig8 fig9 fig10 table3 table4 ablation extensions]..."
                 );
                 std::process::exit(0);
             }
@@ -89,8 +105,11 @@ fn main() {
     let args = parse_args();
     let e = &args.effort;
     println!(
-        "# S3CRM reproduction harness — scale x{}, {} eval worlds, seed {}",
-        e.graph_scale, e.eval_worlds, e.seed
+        "# S3CRM reproduction harness — scale x{}, {} eval worlds, seed {}, {} pool workers",
+        e.graph_scale,
+        e.eval_worlds,
+        e.seed,
+        osn_pool::global().num_threads()
     );
     println!("# CSV output: {}\n", args.out_dir.display());
 

@@ -6,7 +6,7 @@ use crate::effort::Effort;
 use crate::scenario::{run_algorithm, AlgoRun, Algorithm};
 use osn_graph::{CsrGraph, NodeData};
 use osn_propagation::world::WorldCache;
-use osn_propagation::RedemptionReport;
+use osn_propagation::{DeploymentRef, RedemptionReport};
 use s3crm_core::Telemetry;
 
 /// One algorithm's evaluated result on one instance.
@@ -19,7 +19,9 @@ pub struct Row {
 }
 
 /// Run `algorithms` on the instance and evaluate every deployment on one
-/// shared world cache (shared randomness keeps comparisons tight).
+/// shared world cache (shared randomness keeps comparisons tight). The
+/// algorithms run (and are timed) one at a time; their deployments are then
+/// scored together in one batched pass over the cache.
 pub fn evaluate_all(
     graph: &CsrGraph,
     data: &NodeData,
@@ -31,23 +33,22 @@ pub fn evaluate_all(
     // Distinct salt keeps evaluation worlds independent of the worlds the
     // IM baselines optimized on (no self-grading).
     let cache = WorldCache::sample(graph, effort.eval_worlds, effort.seed ^ 0x0E7A_15A1);
-    algorithms
+    let runs: Vec<AlgoRun> = algorithms
         .iter()
-        .map(|&algo| {
-            let run: AlgoRun = run_algorithm(graph, data, binv, algo, limited_cap, effort);
-            let report = RedemptionReport::compute(
-                graph,
-                data,
-                &run.deployment.seeds,
-                &run.deployment.coupons,
-                &cache,
-            );
-            Row {
-                algorithm: algo,
-                report,
-                wall_ms: run.wall.as_secs_f64() * 1e3,
-                telemetry: run.telemetry,
-            }
+        .map(|&algo| run_algorithm(graph, data, binv, algo, limited_cap, effort))
+        .collect();
+    let batch: Vec<DeploymentRef<'_>> = runs
+        .iter()
+        .map(|run| DeploymentRef::from(&run.deployment))
+        .collect();
+    let reports = RedemptionReport::compute_batch(graph, data, &batch, &cache);
+    runs.into_iter()
+        .zip(reports)
+        .map(|(run, report)| Row {
+            algorithm: run.algorithm,
+            report,
+            wall_ms: run.wall.as_secs_f64() * 1e3,
+            telemetry: run.telemetry,
         })
         .collect()
 }

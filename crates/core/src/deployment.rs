@@ -4,6 +4,7 @@
 //! at least one coupon, matching the paper's `K(I) = {k_i | v_i ∈ I}`.
 
 use osn_graph::{CsrGraph, NodeId};
+use osn_propagation::DeploymentRef;
 use serde::{Deserialize, Serialize};
 
 /// A (partial or final) solution: the seed set and per-node coupon counts.
@@ -78,6 +79,17 @@ impl Deployment {
     /// Total allocated coupons `Σ k_i`.
     pub fn total_coupons(&self) -> u64 {
         self.coupons.iter().map(|&k| k as u64).sum()
+    }
+}
+
+/// Borrow a deployment as the batched-evaluation view — the one conversion
+/// every greedy loop uses to build `simulate_batch` submissions.
+impl<'a> From<&'a Deployment> for DeploymentRef<'a> {
+    fn from(dep: &'a Deployment) -> Self {
+        DeploymentRef {
+            seeds: &dep.seeds,
+            coupons: &dep.coupons,
+        }
     }
 }
 

@@ -6,7 +6,7 @@ use crate::id_phase::{investment_deployment, ExploreTracker};
 use crate::objective::{self, ObjectiveValue};
 use crate::scm::{sc_maneuver, ScmStats};
 use osn_graph::{CsrGraph, NodeData};
-use osn_propagation::BenefitEvaluator;
+use osn_propagation::DeploymentRef;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -112,7 +112,9 @@ pub fn s3ca(graph: &CsrGraph, data: &NodeData, binv: f64, config: &S3caConfig) -
     // Monte-Carlo-estimated redemption rate. The analytic evaluator that
     // drives the greedy loop is exact on forests but underestimates deep
     // spreads on cyclic graphs; the MC re-ranking corrects the final choice
-    // at negligible cost (a handful of snapshot evaluations).
+    // at negligible cost: all feasible snapshots go to the evaluator as ONE
+    // batch, so a single pass over the world cache scores the whole
+    // candidate list instead of per-snapshot serial evaluations.
     if config.snapshot_worlds > 0 && id.snapshots.len() > 1 {
         let t_sel = Instant::now();
         let cache = osn_propagation::world::WorldCache::sample(
@@ -121,18 +123,30 @@ pub fn s3ca(graph: &CsrGraph, data: &NodeData, binv: f64, config: &S3caConfig) -
             config.rng_seed,
         );
         let ev = osn_propagation::MonteCarloEvaluator::new(graph, data, &cache);
-        let scored: Vec<(f64, f64, &Deployment, ObjectiveValue)> = id
+        let feasible: Vec<(&Deployment, ObjectiveValue)> = id
             .snapshots
             .iter()
             .filter_map(|snap| {
                 let analytic = objective::evaluate(graph, data, snap);
-                if !analytic.within_budget(binv) {
-                    return None;
-                }
-                let mc_benefit = ev.expected_benefit(&snap.seeds, &snap.coupons);
+                analytic.within_budget(binv).then_some((snap, analytic))
+            })
+            .collect();
+        let batch: Vec<DeploymentRef<'_>> = feasible
+            .iter()
+            .map(|&(snap, _)| DeploymentRef::from(snap))
+            .collect();
+        let scored: Vec<(f64, f64, &Deployment, ObjectiveValue)> = ev
+            .simulate_batch(&batch)
+            .into_iter()
+            .zip(feasible)
+            .map(|(stats, (snap, analytic))| {
                 let cost = analytic.total_cost();
-                let rate = if cost > 0.0 { mc_benefit / cost } else { 0.0 };
-                Some((rate, cost, snap, analytic))
+                let rate = if cost > 0.0 {
+                    stats.expected_benefit / cost
+                } else {
+                    0.0
+                };
+                (rate, cost, snap, analytic)
             })
             .collect();
         let best_rate = scored.iter().fold(0.0f64, |a, &(r, ..)| a.max(r));

@@ -1,0 +1,496 @@
+//! # osn-pool
+//!
+//! A minimal work-stealing thread pool for the S3CRM workspace (crates.io is
+//! unreachable in the build environment, so rayon cannot be used — this is
+//! the rayon-style subset the evaluators need, dependency-free).
+//!
+//! ## Architecture
+//!
+//! * **Per-worker deques.** Every worker owns a deque. Jobs spawned *from*
+//!   a worker go to the back of its own deque and are popped LIFO (depth
+//!   first, cache hot); idle workers steal from the *front* of other deques
+//!   FIFO (breadth first, coarsest units move between threads).
+//! * **Shared injector.** Jobs submitted from outside the pool land in a
+//!   shared FIFO injector that every worker drains before stealing.
+//! * **Scoped API.** [`ThreadPool::scope`] mirrors `std::thread::scope`:
+//!   spawned closures may borrow from the caller's stack because `scope`
+//!   does not return until every spawned job has finished — including jobs
+//!   spawned transitively from other jobs. The calling thread *participates*
+//!   while it waits (it runs queued jobs), so a scope on a single-worker
+//!   pool cannot deadlock on nested scopes.
+//! * **Panic propagation.** A panicking job does not poison the pool: the
+//!   payload is captured and re-thrown from the owning `scope` call after
+//!   all sibling jobs have completed.
+//!
+//! ## Determinism
+//!
+//! The pool makes **no ordering guarantees** between jobs; deterministic
+//! users (the Monte-Carlo evaluator) achieve bit-identical results by
+//! assigning each job an index and writing into pre-sized output slots, then
+//! reducing in index order. [`ThreadPool::map_indexed`] packages that
+//! pattern. Nothing in this crate inspects the worker count to decide *what*
+//! to compute — only *where* — so results never depend on pool size.
+//!
+//! ## Sharing
+//!
+//! [`global()`] returns a process-wide pool built on first use with one
+//! worker per available core; [`init_global`] installs a specific size
+//! *before* first use (the `repro --pool-size N` flag). Evaluators default
+//! to the global pool so S3CA's greedy loop, the baselines, and the bench
+//! harness all share one set of workers instead of spawning scoped threads
+//! per evaluation.
+
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// A type-erased unit of work. Jobs are `'static` at the queue level; the
+/// scoped API transmutes shorter-lived closures in (sound because `scope`
+/// blocks until they all ran — see [`Scope::spawn`]).
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Wakeup state guarded by [`Shared::signal`].
+struct Signal {
+    /// Generation counter — bumped on every push and every scope-job
+    /// completion so sleepers can detect missed signals before parking.
+    generation: u64,
+    /// Threads currently parked on the condvar. When zero, a bump can skip
+    /// the notification entirely (the common case while all workers are
+    /// busy: every job push and completion would otherwise wake the whole
+    /// pool just to find nothing new).
+    sleepers: usize,
+}
+
+/// State shared between the pool handle and its workers.
+struct Shared {
+    /// FIFO queue for jobs submitted from outside the pool.
+    injector: Mutex<VecDeque<Job>>,
+    /// One deque per worker: owner pops the back, thieves pop the front.
+    deques: Vec<Mutex<VecDeque<Job>>>,
+    signal: Mutex<Signal>,
+    condvar: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn bump(&self) {
+        let mut sig = self.signal.lock().expect("pool signal lock");
+        sig.generation = sig.generation.wrapping_add(1);
+        let wake = sig.sleepers > 0;
+        drop(sig);
+        if wake {
+            self.condvar.notify_all();
+        }
+    }
+
+    fn generation(&self) -> u64 {
+        self.signal.lock().expect("pool signal lock").generation
+    }
+
+    /// Pop own deque (LIFO), else the injector (FIFO), else steal (FIFO).
+    fn find_job(&self, me: Option<usize>) -> Option<Job> {
+        if let Some(i) = me {
+            if let Some(job) = self.deques[i].lock().expect("worker deque lock").pop_back() {
+                return Some(job);
+            }
+        }
+        if let Some(job) = self
+            .injector
+            .lock()
+            .expect("pool injector lock")
+            .pop_front()
+        {
+            return Some(job);
+        }
+        let n = self.deques.len();
+        let start = me.map_or(0, |i| i + 1);
+        for k in 0..n {
+            let victim = (start + k) % n;
+            if Some(victim) == me {
+                continue;
+            }
+            if let Some(job) = self.deques[victim]
+                .lock()
+                .expect("worker deque lock")
+                .pop_front()
+            {
+                return Some(job);
+            }
+        }
+        None
+    }
+}
+
+std::thread_local! {
+    /// `(pool identity, worker index)` of the current thread, if it is a
+    /// pool worker. The identity disambiguates nested or concurrent pools.
+    static WORKER: std::cell::Cell<Option<(usize, usize)>> = const { std::cell::Cell::new(None) };
+}
+
+fn current_worker(shared: &Arc<Shared>) -> Option<usize> {
+    WORKER
+        .with(|w| w.get())
+        .and_then(|(pool, index)| (pool == Arc::as_ptr(shared) as usize).then_some(index))
+}
+
+fn worker_loop(shared: Arc<Shared>, index: usize) {
+    WORKER.with(|w| w.set(Some((Arc::as_ptr(&shared) as usize, index))));
+    loop {
+        let seen = shared.generation();
+        if let Some(job) = shared.find_job(Some(index)) {
+            job();
+            continue;
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let mut sig = shared.signal.lock().expect("pool signal lock");
+        while sig.generation == seen && !shared.shutdown.load(Ordering::Acquire) {
+            sig.sleepers += 1;
+            sig = shared.condvar.wait(sig).expect("pool signal wait");
+            sig.sleepers -= 1;
+        }
+    }
+}
+
+/// A fixed-size work-stealing thread pool. Dropping the pool joins every
+/// worker (outstanding scopes have completed by then — `scope` cannot
+/// return earlier).
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawn a pool with `threads` workers (clamped to at least one).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            injector: Mutex::new(VecDeque::new()),
+            deques: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            signal: Mutex::new(Signal {
+                generation: 0,
+                sleepers: 0,
+            }),
+            condvar: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("osn-pool-{i}"))
+                    .spawn(move || worker_loop(shared, i))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ThreadPool { shared, handles }
+    }
+
+    /// Number of worker threads.
+    pub fn num_threads(&self) -> usize {
+        self.shared.deques.len()
+    }
+
+    fn push(&self, job: Job) {
+        match current_worker(&self.shared) {
+            Some(i) => self.shared.deques[i]
+                .lock()
+                .expect("worker deque lock")
+                .push_back(job),
+            None => self
+                .shared
+                .injector
+                .lock()
+                .expect("pool injector lock")
+                .push_back(job),
+        }
+        self.shared.bump();
+    }
+
+    /// Run `f` with a [`Scope`] whose spawned jobs may borrow from the
+    /// enclosing stack frame. Returns after every spawned job finished;
+    /// re-throws the first job panic (or `f`'s own panic) afterwards.
+    pub fn scope<'env, F, R>(&'env self, f: F) -> R
+    where
+        F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> R,
+    {
+        let scope = Scope {
+            pool: self,
+            state: Arc::new(ScopeState {
+                pending: AtomicUsize::new(0),
+                panic: Mutex::new(None),
+            }),
+            scope_marker: PhantomData,
+            env_marker: PhantomData,
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+
+        // Participate until all spawned jobs (incl. transitive ones) drained.
+        // Waiting must happen even when `f` panicked — jobs still hold
+        // borrows into this stack frame until `pending` hits zero.
+        let me = current_worker(&self.shared);
+        loop {
+            if scope.state.pending.load(Ordering::Acquire) == 0 {
+                break;
+            }
+            let seen = self.shared.generation();
+            if let Some(job) = self.shared.find_job(me) {
+                job();
+                continue;
+            }
+            let mut sig = self.shared.signal.lock().expect("pool signal lock");
+            while sig.generation == seen && scope.state.pending.load(Ordering::Acquire) != 0 {
+                sig.sleepers += 1;
+                sig = self.shared.condvar.wait(sig).expect("pool signal wait");
+                sig.sleepers -= 1;
+            }
+        }
+
+        match result {
+            Err(payload) => resume_unwind(payload),
+            Ok(value) => {
+                let panicked = scope.state.panic.lock().expect("scope panic slot").take();
+                if let Some(payload) = panicked {
+                    resume_unwind(payload);
+                }
+                value
+            }
+        }
+    }
+
+    /// Evaluate `f(0..len)` on the pool and collect the results **in index
+    /// order** — the deterministic fan-out primitive: output position never
+    /// depends on scheduling, so callers get identical vectors at any pool
+    /// size.
+    pub fn map_indexed<T, F>(&self, len: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let mut out: Vec<Option<T>> = Vec::with_capacity(len);
+        out.resize_with(len, || None);
+        self.scope(|s| {
+            for (i, slot) in out.iter_mut().enumerate() {
+                let f = &f;
+                s.spawn(move || *slot = Some(f(i)));
+            }
+        });
+        out.into_iter()
+            .map(|slot| slot.expect("every index produced a value"))
+            .collect()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.bump();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+struct ScopeState {
+    /// Spawned-but-unfinished job count; the scope owner spins/parks on it.
+    pending: AtomicUsize,
+    /// First captured job panic, re-thrown when the scope closes.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send + 'static>>>,
+}
+
+/// Spawn handle passed to [`ThreadPool::scope`] closures. `'scope` is the
+/// duration of the scope call, `'env` the enclosing environment jobs may
+/// borrow from (`'env: 'scope`), exactly as in `std::thread::scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    pool: &'scope ThreadPool,
+    state: Arc<ScopeState>,
+    scope_marker: PhantomData<&'scope mut &'scope ()>,
+    env_marker: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Queue `f` on the pool. May be called from inside another spawned job
+    /// (the job lands on that worker's own deque and is stolen from there).
+    pub fn spawn<F>(&'scope self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.state.pending.fetch_add(1, Ordering::AcqRel);
+        let state = Arc::clone(&self.state);
+        let shared = Arc::clone(&self.pool.shared);
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
+                let mut slot = state.panic.lock().expect("scope panic slot");
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+            state.pending.fetch_sub(1, Ordering::AcqRel);
+            shared.bump();
+        });
+        // SAFETY: `ThreadPool::scope` does not return (not even by unwind)
+        // until `pending` reaches zero, i.e. until this closure has run to
+        // completion, so every `'scope` borrow it captures outlives its
+        // execution. This is the same lifetime erasure `std::thread::scope`
+        // performs internally.
+        let job: Job =
+            unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(job) };
+        self.pool.push(job);
+    }
+}
+
+/// Worker count matching the machine: `available_parallelism`, or 1 when
+/// that cannot be determined.
+pub fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+
+/// The process-wide shared pool, built with [`default_parallelism`] workers
+/// on first use (unless [`init_global`] installed a size earlier).
+pub fn global() -> &'static ThreadPool {
+    GLOBAL.get_or_init(|| ThreadPool::new(default_parallelism()))
+}
+
+/// Error returned by [`init_global`] when the global pool already exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GlobalPoolAlreadyInitialized;
+
+impl std::fmt::Display for GlobalPoolAlreadyInitialized {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "the global osn-pool was already initialized")
+    }
+}
+
+impl std::error::Error for GlobalPoolAlreadyInitialized {}
+
+/// Install the global pool with an explicit worker count. Must run before
+/// the first [`global`] call; later calls fail (the already-running pool is
+/// kept, the replacement is dropped).
+pub fn init_global(threads: usize) -> Result<(), GlobalPoolAlreadyInitialized> {
+    GLOBAL
+        .set(ThreadPool::new(threads))
+        .map_err(|_| GlobalPoolAlreadyInitialized)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Barrier;
+
+    #[test]
+    fn map_indexed_preserves_index_order() {
+        let pool = ThreadPool::new(4);
+        let out = pool.map_indexed(100, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn uneven_work_distributes_across_sizes() {
+        // Part counts that do not divide the worker count evenly, with
+        // wildly uneven per-part cost: every size must produce the same
+        // result and complete (work stealing rebalances the tail).
+        let expected: Vec<u64> = (0..23)
+            .map(|i| (0..(i % 7) * 1000 + 1).sum::<u64>())
+            .collect();
+        for threads in [1, 2, 3, 5] {
+            let pool = ThreadPool::new(threads);
+            let out = pool.map_indexed(23, |i| (0..(i as u64 % 7) * 1000 + 1).sum::<u64>());
+            assert_eq!(out, expected, "pool size {threads}");
+        }
+    }
+
+    #[test]
+    fn two_workers_run_concurrently() {
+        // Both jobs block on one barrier: passing requires two threads to
+        // be inside jobs at the same time, i.e. real work distribution.
+        let pool = ThreadPool::new(2);
+        let barrier = Barrier::new(2);
+        pool.scope(|s| {
+            for _ in 0..2 {
+                let barrier = &barrier;
+                s.spawn(move || {
+                    barrier.wait();
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn zero_and_single_job_scopes() {
+        let pool = ThreadPool::new(2);
+        let empty: i32 = pool.scope(|_| 7);
+        assert_eq!(empty, 7);
+        assert_eq!(pool.map_indexed(0, |_| 0u8), Vec::<u8>::new());
+        assert_eq!(pool.map_indexed(1, |i| i + 41), vec![41]);
+    }
+
+    #[test]
+    fn nested_spawns_complete_before_scope_returns() {
+        // A job fans out further jobs from inside the pool; the scope must
+        // wait for the whole tree, and thieves must drain worker deques.
+        let pool = ThreadPool::new(3);
+        let count = AtomicU64::new(0);
+        pool.scope(|s| {
+            for _ in 0..4 {
+                let count = &count;
+                s.spawn(move || {
+                    count.fetch_add(1, Ordering::Relaxed);
+                    s.spawn(move || {
+                        count.fetch_add(1, Ordering::Relaxed);
+                    });
+                });
+            }
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_the_scope() {
+        let pool = ThreadPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|| panic!("job exploded"));
+            });
+        }));
+        assert!(result.is_err(), "scope must re-throw the job panic");
+        // The pool survives and keeps processing work afterwards.
+        assert_eq!(pool.map_indexed(3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn scope_on_single_worker_pool_makes_progress() {
+        // The calling thread participates, so even a 1-worker pool finishes
+        // more jobs than workers.
+        let pool = ThreadPool::new(1);
+        let out = pool.map_indexed(64, |i| i as u64 + 1);
+        assert_eq!(out.iter().sum::<u64>(), (1..=64).sum::<u64>());
+    }
+
+    #[test]
+    fn pool_drop_joins_workers() {
+        let pool = ThreadPool::new(3);
+        let out = pool.map_indexed(8, |i| i);
+        drop(pool);
+        assert_eq!(out.len(), 8);
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_late_init_fails() {
+        let first = global();
+        assert!(first.num_threads() >= 1);
+        assert!(
+            std::ptr::eq(first, global()),
+            "global pool must be a singleton"
+        );
+        assert_eq!(init_global(2), Err(GlobalPoolAlreadyInitialized));
+    }
+}

@@ -32,9 +32,38 @@
 //! * [`cost`] — the paper's expected-SC-cost `Csc(K(I))` (local per internal
 //!   node, Table I) and seed cost.
 //! * [`evaluator`] / [`monte_carlo`] — a common benefit-evaluator interface
-//!   with analytic and (scoped-thread-parallel) Monte-Carlo implementations.
+//!   (including the batched [`BenefitEvaluator::simulate_batch`] entry
+//!   point) with analytic and pool-parallel Monte-Carlo implementations.
 //! * [`metrics`] — the reported quantities of Sec. VI: redemption rate,
 //!   total benefit, seed–SC rate, average farthest hop.
+//!
+//! ## Parallel execution and the determinism contract
+//!
+//! All parallelism in this crate runs on a shared [`osn_pool`]
+//! work-stealing pool (per-worker deques + a shared injector; see that
+//! crate's docs). [`MonteCarloEvaluator`] and
+//! [`WorldCache::sample`](crate::world::WorldCache::sample) default to the
+//! process-wide [`osn_pool::global`] pool, so S3CA's greedy loop, the
+//! baselines, and the bench harness share one set of workers instead of
+//! spawning scoped threads per evaluation; `with_pool`/`sample_with_pool`
+//! builders accept an explicit pool (how the determinism tests force sizes
+//! 1, 2, and `available_parallelism`).
+//!
+//! The determinism contract, pinned by `tests/determinism.rs`:
+//!
+//! 1. **World identity.** World `i` is always RNG stream `i`, regardless of
+//!    which worker sampled it.
+//! 2. **Part grouping.** Per-world outcomes are summed in fixed
+//!    [`monte_carlo::PART_WORLDS`]-world parts, each part serially in world
+//!    order.
+//! 3. **Merge order.** Part totals are merged in part order on the calling
+//!    thread, never in completion order.
+//!
+//! Together these make every estimate bit-identical across pool sizes,
+//! machines, and the serial vs. pooled paths. Batched evaluation
+//! ([`BenefitEvaluator::simulate_batch`]) keeps per-candidate accumulators
+//! through the same grouping, so batching never changes results either —
+//! only how many candidates one pass over the world cache serves.
 
 pub mod bits;
 pub mod cascade;
@@ -50,8 +79,8 @@ pub mod world;
 
 pub use cascade::{simulate_cascade, CascadeOutcome};
 pub use cost::{expected_sc_cost, redemption_rate, seed_cost, total_cost};
-pub use evaluator::{AnalyticEvaluator, BenefitEvaluator};
+pub use evaluator::{AnalyticEvaluator, BenefitEvaluator, DeploymentRef};
 pub use metrics::RedemptionReport;
-pub use monte_carlo::MonteCarloEvaluator;
+pub use monte_carlo::{MonteCarloEvaluator, SimulationStats};
 pub use spread::SpreadState;
 pub use world::WorldCache;

@@ -6,7 +6,8 @@
 //! hop (Table III).
 
 use crate::cost::{expected_sc_cost, redemption_rate, seed_cost};
-use crate::monte_carlo::MonteCarloEvaluator;
+use crate::evaluator::DeploymentRef;
+use crate::monte_carlo::{MonteCarloEvaluator, SimulationStats};
 use crate::world::WorldCache;
 use osn_graph::{CsrGraph, NodeData, NodeId};
 use serde::{Deserialize, Serialize};
@@ -45,6 +46,35 @@ impl RedemptionReport {
         cache: &WorldCache,
     ) -> Self {
         let stats = MonteCarloEvaluator::new(graph, data, cache).simulate(seeds, coupons);
+        Self::from_stats(graph, data, seeds, coupons, stats)
+    }
+
+    /// Evaluate many deployments with **one pass over the world cache**
+    /// (see [`MonteCarloEvaluator::simulate_batch`]); element `i` is
+    /// bit-identical to `compute(…, batch[i], …)`.
+    pub fn compute_batch(
+        graph: &CsrGraph,
+        data: &NodeData,
+        batch: &[DeploymentRef<'_>],
+        cache: &WorldCache,
+    ) -> Vec<Self> {
+        MonteCarloEvaluator::new(graph, data, cache)
+            .simulate_batch(batch)
+            .into_iter()
+            .zip(batch)
+            .map(|(stats, dep)| Self::from_stats(graph, data, dep.seeds, dep.coupons, stats))
+            .collect()
+    }
+
+    /// Assemble a report from already-simulated statistics plus the
+    /// analytic Table-I cost model.
+    pub fn from_stats(
+        graph: &CsrGraph,
+        data: &NodeData,
+        seeds: &[NodeId],
+        coupons: &[u32],
+        stats: SimulationStats,
+    ) -> Self {
         Self::from_parts(graph, data, seeds, coupons, stats.expected_benefit)
             .with_hops(stats.mean_farthest_hop, stats.mean_activated)
     }
@@ -116,6 +146,31 @@ mod tests {
         assert!(r.seed_sc_rate.is_infinite());
         assert_eq!(r.sc_cost, 0.0);
         assert_eq!(r.avg_farthest_hop, 0.0);
+    }
+
+    #[test]
+    fn compute_batch_matches_lone_compute() {
+        let (g, d) = instance();
+        let cache = WorldCache::sample(&g, 256, 6);
+        let seeds = [NodeId(0)];
+        let ks: [[u32; 3]; 3] = [[0, 0, 0], [1, 0, 0], [1, 1, 0]];
+        let batch: Vec<DeploymentRef<'_>> = ks
+            .iter()
+            .map(|k| DeploymentRef {
+                seeds: &seeds,
+                coupons: k,
+            })
+            .collect();
+        let reports = RedemptionReport::compute_batch(&g, &d, &batch, &cache);
+        assert_eq!(reports.len(), 3);
+        for (report, k) in reports.iter().zip(ks.iter()) {
+            let lone = RedemptionReport::compute(&g, &d, &seeds, k, &cache);
+            assert_eq!(report, &lone);
+            assert_eq!(
+                report.expected_benefit.to_bits(),
+                lone.expected_benefit.to_bits()
+            );
+        }
     }
 
     #[test]

@@ -4,13 +4,56 @@
 //! such as Monte Carlo [2]", with accuracy `(1 − ε)` growing in the sample
 //! count. Worlds are pre-sampled once per instance
 //! ([`WorldCache`](crate::world::WorldCache)) and each evaluation runs the
-//! deterministic coupon-constrained cascade per world, in parallel across
-//! `std::thread::scope` workers.
+//! deterministic coupon-constrained cascade per world, on a shared
+//! [`osn_pool`] work-stealing pool.
+//!
+//! ## Determinism contract
+//!
+//! Worlds are grouped into **fixed parts of [`PART_WORLDS`] worlds**. A part
+//! is always summed serially in world order, and part totals are merged in
+//! part order — so the floating-point summation grouping depends only on
+//! `PART_WORLDS`, never on the pool size or on which worker ran which part.
+//! Estimates are bit-identical across machines with any core count and
+//! across the serial and pooled paths; `tests/determinism.rs` pins this.
+//!
+//! ## Batched evaluation
+//!
+//! [`MonteCarloEvaluator::simulate_batch`] evaluates many candidate
+//! deployments in **one pass over the world cache**: each part task runs
+//! every candidate's cascade against a world before moving to the next
+//! world, so the world's live-edge bitmap (and the graph adjacency it
+//! indexes) stays hot in cache across the whole batch. Greedy loops that
+//! used to issue N serial `simulate` calls submit one N-candidate batch
+//! instead. Per candidate, the part grouping above is unchanged, so batched
+//! results are bit-identical to per-candidate calls.
 
-use crate::evaluator::BenefitEvaluator;
+use crate::evaluator::{BenefitEvaluator, DeploymentRef};
 use crate::reach::{world_cascade, CascadeScratch, WorldOutcome};
 use crate::world::WorldCache;
 use osn_graph::{CsrGraph, NodeData, NodeId};
+use osn_pool::ThreadPool;
+use std::cell::RefCell;
+
+thread_local! {
+    /// Worker-local cascade scratch, reused across part tasks and calls —
+    /// one `O(node_count)` allocation per worker thread (and per caller
+    /// thread on the inline path), not one per 32-world part. Scratch
+    /// contents never influence results (stamp-based marking), so reuse
+    /// cannot affect the determinism contract.
+    static SCRATCH: RefCell<CascadeScratch> = RefCell::new(CascadeScratch::new(0));
+}
+
+fn with_scratch<R>(nodes: usize, f: impl FnOnce(&mut CascadeScratch) -> R) -> R {
+    SCRATCH.with(|s| {
+        let mut s = s.borrow_mut();
+        s.ensure_nodes(nodes);
+        f(&mut s)
+    })
+}
+
+/// Worlds per summation part. Fixing the part size (rather than deriving it
+/// from the worker count) is what makes estimates machine-independent.
+pub const PART_WORLDS: usize = 32;
 
 /// Aggregated Monte-Carlo statistics of a deployment.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -26,18 +69,38 @@ pub struct SimulationStats {
     pub mean_farthest_hop: f64,
 }
 
-/// Monte-Carlo evaluator bound to one instance and one world cache.
+/// Monte-Carlo evaluator bound to one instance, one world cache, and one
+/// thread pool.
 pub struct MonteCarloEvaluator<'a> {
     graph: &'a CsrGraph,
     data: &'a NodeData,
     cache: &'a WorldCache,
+    pool: &'a ThreadPool,
 }
 
 impl<'a> MonteCarloEvaluator<'a> {
-    /// Evaluator over `cache`'s pre-sampled worlds.
+    /// Evaluator over `cache`'s pre-sampled worlds, folding on the shared
+    /// [`osn_pool::global`] pool.
     pub fn new(graph: &'a CsrGraph, data: &'a NodeData, cache: &'a WorldCache) -> Self {
+        Self::with_pool(graph, data, cache, osn_pool::global())
+    }
+
+    /// Evaluator folding on an explicit pool. The pool size never changes
+    /// results (see the module docs); tests use size-1 and size-2 pools to
+    /// pin that.
+    pub fn with_pool(
+        graph: &'a CsrGraph,
+        data: &'a NodeData,
+        cache: &'a WorldCache,
+        pool: &'a ThreadPool,
+    ) -> Self {
         assert_eq!(cache.edge_count(), graph.edge_count());
-        MonteCarloEvaluator { graph, data, cache }
+        MonteCarloEvaluator {
+            graph,
+            data,
+            cache,
+            pool,
+        }
     }
 
     /// Number of worlds backing each estimate.
@@ -47,97 +110,114 @@ impl<'a> MonteCarloEvaluator<'a> {
 
     /// Full per-world statistics, averaged.
     pub fn simulate(&self, seeds: &[NodeId], coupons: &[u32]) -> SimulationStats {
-        let r = self.cache.len();
-        if r == 0 {
-            return SimulationStats::default();
-        }
-        let outcomes = self.fold_worlds(seeds, coupons);
-        let rf = r as f64;
-        SimulationStats {
-            expected_benefit: outcomes.benefit / rf,
-            mean_redeemed_sc_cost: outcomes.redeemed_sc_cost / rf,
-            mean_activated: outcomes.activated as f64 / rf,
-            mean_farthest_hop: outcomes.farthest_hop_sum / rf,
-        }
+        self.simulate_batch(&[DeploymentRef { seeds, coupons }])
+            .pop()
+            .expect("one candidate in, one result out")
     }
 
-    fn fold_worlds(&self, seeds: &[NodeId], coupons: &[u32]) -> Totals {
+    /// Batched evaluation: one [`SimulationStats`] per candidate, each
+    /// bit-identical to a standalone [`simulate`](Self::simulate) call, with
+    /// one pass over the world cache serving the whole batch.
+    pub fn simulate_batch(&self, batch: &[DeploymentRef<'_>]) -> Vec<SimulationStats> {
         let r = self.cache.len();
-        let workers = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-            .min(r);
-        // Fixed-size parts pulled from a shared counter, merged in part
-        // order: the floating-point summation grouping depends only on
-        // `PART_WORLDS`, never on the worker count, so estimates are
-        // bit-identical across machines with different core counts. The
-        // serial path below uses the identical grouping.
-        const PART_WORLDS: usize = 32;
-        let parts = r.div_ceil(PART_WORLDS);
-        if workers <= 1 || r < 16 {
-            let mut scratch = CascadeScratch::new(self.graph.node_count());
-            let mut acc = Totals::default();
-            for p in 0..parts {
-                let lo = p * PART_WORLDS;
-                let hi = (lo + PART_WORLDS).min(r);
-                let mut part = Totals::default();
-                for w in lo..hi {
-                    part.add(world_cascade(
+        if r == 0 || batch.is_empty() {
+            return vec![SimulationStats::default(); batch.len()];
+        }
+        let totals = self.fold_worlds_batch(batch);
+        let rf = r as f64;
+        totals
+            .into_iter()
+            .map(|t| SimulationStats {
+                expected_benefit: t.benefit / rf,
+                mean_redeemed_sc_cost: t.redeemed_sc_cost / rf,
+                mean_activated: t.activated as f64 / rf,
+                mean_farthest_hop: t.farthest_hop_sum / rf,
+            })
+            .collect()
+    }
+
+    /// Sum one part (worlds `lo..hi`) for every candidate, worlds in order,
+    /// into `part` (cleared first; reusable across parts on one thread).
+    fn fold_part(&self, batch: &[DeploymentRef<'_>], lo: usize, hi: usize, part: &mut Vec<Totals>) {
+        part.clear();
+        part.resize(batch.len(), Totals::default());
+        with_scratch(self.graph.node_count(), |scratch| {
+            for w in lo..hi {
+                let world = self.cache.world(w);
+                for (acc, dep) in part.iter_mut().zip(batch) {
+                    acc.add(world_cascade(
                         self.graph,
                         self.data,
-                        seeds,
-                        coupons,
-                        self.cache.world(w),
-                        &mut scratch,
+                        dep.seeds,
+                        dep.coupons,
+                        world,
+                        scratch,
                     ));
-                }
-                acc.merge(part);
-            }
-            return acc;
-        }
-        let mut part_totals: Vec<Option<Totals>> = vec![None; parts];
-        let next_part = std::sync::atomic::AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers.min(parts))
-                .map(|_| {
-                    let next_part = &next_part;
-                    scope.spawn(move || {
-                        let mut scratch = CascadeScratch::new(self.graph.node_count());
-                        let mut done: Vec<(usize, Totals)> = Vec::new();
-                        loop {
-                            let p = next_part.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                            if p >= parts {
-                                return done;
-                            }
-                            let lo = p * PART_WORLDS;
-                            let hi = (lo + PART_WORLDS).min(r);
-                            let mut part = Totals::default();
-                            for w in lo..hi {
-                                part.add(world_cascade(
-                                    self.graph,
-                                    self.data,
-                                    seeds,
-                                    coupons,
-                                    self.cache.world(w),
-                                    &mut scratch,
-                                ));
-                            }
-                            done.push((p, part));
-                        }
-                    })
-                })
-                .collect();
-            for h in handles {
-                for (p, t) in h.join().expect("monte-carlo worker panicked") {
-                    part_totals[p] = Some(t);
                 }
             }
         });
-        let mut acc = Totals::default();
-        for t in part_totals {
-            acc.merge(t.expect("every part processed exactly once"));
+    }
+
+    fn fold_worlds_batch(&self, batch: &[DeploymentRef<'_>]) -> Vec<Totals> {
+        let r = self.cache.len();
+        let parts = r.div_ceil(PART_WORLDS);
+        let part_bounds = |p: usize| (p * PART_WORLDS, (p * PART_WORLDS + PART_WORLDS).min(r));
+        let workers = self.pool.num_threads().min(parts);
+        if workers <= 1 {
+            // Inline path: identical part grouping, no scheduling overhead,
+            // one reused part buffer.
+            let mut acc = vec![Totals::default(); batch.len()];
+            let mut part = Vec::new();
+            for p in 0..parts {
+                let (lo, hi) = part_bounds(p);
+                self.fold_part(batch, lo, hi, &mut part);
+                merge_into(&mut acc, &part);
+            }
+            return acc;
+        }
+        // Pooled path: `workers` long-lived jobs pull part indices from a
+        // shared counter — one boxed job per worker rather than per part,
+        // so a 20k-world cache costs a handful of queue operations instead
+        // of hundreds. Each claimed part records its totals with its index,
+        // and parts are merged in ascending part order afterwards, so the
+        // summation grouping stays independent of which job claimed what.
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let mut per_job: Vec<Vec<(usize, Vec<Totals>)>> = Vec::with_capacity(workers);
+        per_job.resize_with(workers, Vec::new);
+        self.pool.scope(|s| {
+            for slot in per_job.iter_mut() {
+                let next = &next;
+                s.spawn(move || loop {
+                    let p = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if p >= parts {
+                        break;
+                    }
+                    let (lo, hi) = part_bounds(p);
+                    let mut part = Vec::new();
+                    self.fold_part(batch, lo, hi, &mut part);
+                    slot.push((p, part));
+                });
+            }
+        });
+        let mut in_order: Vec<(usize, Vec<Totals>)> = per_job.into_iter().flatten().collect();
+        in_order.sort_unstable_by_key(|&(p, _)| p);
+        assert_eq!(
+            in_order.len(),
+            parts,
+            "every part must be claimed exactly once"
+        );
+        let mut acc = vec![Totals::default(); batch.len()];
+        for (_, part) in &in_order {
+            merge_into(&mut acc, part);
         }
         acc
+    }
+}
+
+fn merge_into(acc: &mut [Totals], part: &[Totals]) {
+    debug_assert_eq!(acc.len(), part.len());
+    for (a, t) in acc.iter_mut().zip(part) {
+        a.merge(*t);
     }
 }
 
@@ -187,6 +267,14 @@ impl BenefitEvaluator for MonteCarloEvaluator<'_> {
         }
         let r = self.cache.len().max(1) as f64;
         counts.iter().map(|&c| c as f64 / r).collect()
+    }
+
+    fn simulate(&self, seeds: &[NodeId], coupons: &[u32]) -> SimulationStats {
+        MonteCarloEvaluator::simulate(self, seeds, coupons)
+    }
+
+    fn simulate_batch(&self, batch: &[DeploymentRef<'_>]) -> Vec<SimulationStats> {
+        MonteCarloEvaluator::simulate_batch(self, batch)
     }
 }
 
@@ -285,20 +373,67 @@ mod tests {
     }
 
     #[test]
-    fn parallel_and_serial_paths_agree_exactly() {
+    fn pooled_and_manual_folds_agree_exactly() {
         let (g, d) = example1();
         let cache = WorldCache::sample(&g, 64, 5);
-        let ev = MonteCarloEvaluator::new(&g, &d, &cache);
+        let pool = ThreadPool::new(2);
+        let ev = MonteCarloEvaluator::with_pool(&g, &d, &cache, &pool);
         let mut k = vec![0u32; 7];
         k[0] = 2;
-        // Parallel path (64 worlds) vs manual serial fold.
-        let par = ev.simulate(&[NodeId(0)], &k);
+        // Pooled path (64 worlds, 2 workers) vs manual serial fold in the
+        // documented 32-world part grouping.
+        let pooled = ev.simulate(&[NodeId(0)], &k);
         let mut scratch = CascadeScratch::new(7);
-        let mut sum = 0.0;
-        for w in 0..64 {
-            sum += world_cascade(&g, &d, &[NodeId(0)], &k, cache.world(w), &mut scratch).benefit;
+        let mut total = 0.0;
+        for part in 0..2 {
+            let mut sum = 0.0;
+            for w in part * PART_WORLDS..(part + 1) * PART_WORLDS {
+                sum +=
+                    world_cascade(&g, &d, &[NodeId(0)], &k, cache.world(w), &mut scratch).benefit;
+            }
+            total += sum;
         }
-        assert!((par.expected_benefit - sum / 64.0).abs() < 1e-12);
+        assert_eq!(
+            pooled.expected_benefit.to_bits(),
+            (total / 64.0).to_bits(),
+            "pooled fold must reproduce the part-grouped serial sum exactly"
+        );
+    }
+
+    #[test]
+    fn batch_matches_per_candidate_bitwise() {
+        let (g, d) = example1();
+        let cache = WorldCache::sample(&g, 96, 21);
+        let pool = ThreadPool::new(2);
+        let ev = MonteCarloEvaluator::with_pool(&g, &d, &cache, &pool);
+        let seeds_a = [NodeId(0)];
+        let seeds_b = [NodeId(0), NodeId(1)];
+        let k0 = vec![0u32; 7];
+        let k1 = vec![2, 1, 1, 0, 0, 0, 0];
+        let k2 = vec![1, 2, 2, 0, 0, 0, 0];
+        let batch = [
+            DeploymentRef {
+                seeds: &seeds_a,
+                coupons: &k0,
+            },
+            DeploymentRef {
+                seeds: &seeds_a,
+                coupons: &k1,
+            },
+            DeploymentRef {
+                seeds: &seeds_b,
+                coupons: &k2,
+            },
+        ];
+        let batched = ev.simulate_batch(&batch);
+        for (stats, dep) in batched.iter().zip(batch.iter()) {
+            let lone = ev.simulate(dep.seeds, dep.coupons);
+            assert_eq!(stats, &lone, "batched element diverged from lone call");
+            assert_eq!(
+                stats.expected_benefit.to_bits(),
+                lone.expected_benefit.to_bits()
+            );
+        }
     }
 
     #[test]
@@ -310,6 +445,39 @@ mod tests {
             ev.simulate(&[NodeId(0)], &[0; 7]),
             SimulationStats::default()
         );
+        // Batched on an empty cache: one default per candidate.
+        let k = vec![0u32; 7];
+        let seeds = [NodeId(0)];
+        let batch = [DeploymentRef {
+            seeds: &seeds,
+            coupons: &k,
+        }; 3];
+        assert_eq!(
+            ev.simulate_batch(&batch),
+            vec![SimulationStats::default(); 3]
+        );
+    }
+
+    #[test]
+    fn empty_batch_yields_empty_result() {
+        let (g, d) = example1();
+        let cache = WorldCache::sample(&g, 8, 1);
+        let ev = MonteCarloEvaluator::new(&g, &d, &cache);
+        assert!(ev.simulate_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn single_world_cache_is_one_part() {
+        let (g, d) = example1();
+        let cache = WorldCache::sample(&g, 1, 9);
+        let pool = ThreadPool::new(2);
+        let ev = MonteCarloEvaluator::with_pool(&g, &d, &cache, &pool);
+        let k = vec![2u32, 2, 2, 0, 0, 0, 0];
+        let stats = ev.simulate(&[NodeId(0)], &k);
+        let mut scratch = CascadeScratch::new(7);
+        let lone = world_cascade(&g, &d, &[NodeId(0)], &k, cache.world(0), &mut scratch);
+        assert_eq!(stats.expected_benefit.to_bits(), lone.benefit.to_bits());
+        assert_eq!(stats.mean_activated, lone.activated as f64);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 
 use crate::bits::BitVec;
 use osn_graph::CsrGraph;
+use osn_pool::ThreadPool;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -24,38 +25,34 @@ pub struct WorldCache {
 impl WorldCache {
     /// Sample `count` worlds with coin flips seeded from `seed` (each world
     /// has an independent deterministic stream, so caches are reproducible
-    /// and threads can generate disjoint world ranges).
+    /// and workers can generate disjoint world ranges), generating on the
+    /// shared [`osn_pool::global`] pool.
     pub fn sample(graph: &CsrGraph, count: usize, seed: u64) -> Self {
+        Self::sample_with_pool(graph, count, seed, osn_pool::global())
+    }
+
+    /// Sample on an explicit pool. World `i` is always RNG stream `i`, so
+    /// the cache contents never depend on the pool size.
+    pub fn sample_with_pool(graph: &CsrGraph, count: usize, seed: u64, pool: &ThreadPool) -> Self {
         let probs = graph.edge_probs_flat();
         let m = probs.len();
-        let workers = worker_count(count);
-        let mut worlds: Vec<BitVec> = Vec::with_capacity(count);
+        let workers = pool.num_threads().min(count.max(1));
+        let mut worlds: Vec<BitVec> = vec![BitVec::zeros(0); count];
         if workers <= 1 || count < 8 {
-            for w in 0..count {
-                worlds.push(sample_world(probs, seed, w as u64));
+            for (w, slot) in worlds.iter_mut().enumerate() {
+                *slot = sample_world(probs, seed, w as u64);
             }
         } else {
             let chunk = count.div_ceil(workers);
-            let mut parts: Vec<Vec<BitVec>> = Vec::with_capacity(workers);
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|t| {
-                        let lo = t * chunk;
-                        let hi = ((t + 1) * chunk).min(count);
-                        scope.spawn(move || {
-                            (lo..hi)
-                                .map(|w| sample_world(probs, seed, w as u64))
-                                .collect::<Vec<_>>()
-                        })
-                    })
-                    .collect();
-                for h in handles {
-                    parts.push(h.join().expect("world sampling worker panicked"));
+            pool.scope(|s| {
+                for (t, slice) in worlds.chunks_mut(chunk).enumerate() {
+                    s.spawn(move || {
+                        for (j, slot) in slice.iter_mut().enumerate() {
+                            *slot = sample_world(probs, seed, (t * chunk + j) as u64);
+                        }
+                    });
                 }
             });
-            for p in parts {
-                worlds.extend(p);
-            }
         }
         WorldCache { worlds, edges: m }
     }
@@ -92,13 +89,6 @@ fn sample_world(probs: &[f64], seed: u64, index: u64) -> BitVec {
         }
     }
     bits
-}
-
-fn worker_count(worlds: usize) -> usize {
-    std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(worlds.max(1))
 }
 
 #[cfg(test)]
@@ -158,6 +148,23 @@ mod tests {
         let few = WorldCache::sample(&g, 4, 11); // serial path
         for w in 0..4 {
             assert_eq!(many.world(w), few.world(w));
+        }
+    }
+
+    #[test]
+    fn pool_size_never_changes_the_cache() {
+        let g = graph();
+        let serial = WorldCache::sample_with_pool(&g, 64, 11, &ThreadPool::new(1));
+        for threads in [2, 3] {
+            let pool = ThreadPool::new(threads);
+            let pooled = WorldCache::sample_with_pool(&g, 64, 11, &pool);
+            for w in 0..64 {
+                assert_eq!(
+                    serial.world(w),
+                    pooled.world(w),
+                    "world {w}, {threads} workers"
+                );
+            }
         }
     }
 }

@@ -1,10 +1,11 @@
 //! Property-based tests of the propagation engine's core invariants.
 
 use osn_graph::{GraphBuilder, NodeData, NodeId};
+use osn_pool::ThreadPool;
 use osn_propagation::rank::{exhaustion_probability, redemption_probs};
 use osn_propagation::spread::SpreadState;
 use osn_propagation::world::WorldCache;
-use osn_propagation::{expected_sc_cost, BenefitEvaluator, MonteCarloEvaluator};
+use osn_propagation::{expected_sc_cost, BenefitEvaluator, DeploymentRef, MonteCarloEvaluator};
 use proptest::prelude::*;
 
 fn tree_strategy() -> impl Strategy<Value = Vec<(u32, u32, f64)>> {
@@ -92,6 +93,110 @@ proptest! {
         let live = (0..cache.len()).filter(|&w| cache.world(w).get(0)).count();
         let freq = live as f64 / cache.len() as f64;
         prop_assert!((freq - p).abs() < 0.05, "live frequency {freq} vs p {p}");
+    }
+
+    #[test]
+    fn batched_evaluation_equals_per_candidate_exactly(edges in tree_strategy(), seed in 0u64..64) {
+        // The batch contract is bitwise, not approximate: element i of
+        // `simulate_batch` must equal a lone `simulate` of candidate i at
+        // every pool size. Candidates deliberately share nothing (different
+        // seed sets AND different coupon vectors).
+        let n = edges.len() + 1;
+        let g = build(n, &edges);
+        let d = NodeData::uniform(n, 1.0, 1.0, 1.0);
+        let degree_cap = |cap: u32| -> Vec<u32> {
+            (0..n).map(|i| (g.out_degree(NodeId(i as u32)) as u32).min(cap)).collect()
+        };
+        let ks = [degree_cap(0), degree_cap(1), degree_cap(3)];
+        let seed_sets: [&[NodeId]; 3] = [
+            &[NodeId(0)],
+            &[NodeId(0), NodeId((n as u32 - 1).min(1))],
+            &[],
+        ];
+        let batch: Vec<DeploymentRef<'_>> = ks
+            .iter()
+            .zip(seed_sets)
+            .map(|(k, seeds)| DeploymentRef { seeds, coupons: k })
+            .collect();
+        // 48 worlds = 2 parts (one full, one ragged).
+        let serial_pool = ThreadPool::new(1);
+        let cache = WorldCache::sample_with_pool(&g, 48, seed, &serial_pool);
+        let serial = MonteCarloEvaluator::with_pool(&g, &d, &cache, &serial_pool);
+        for threads in [1usize, 2] {
+            let pool = ThreadPool::new(threads);
+            let ev = MonteCarloEvaluator::with_pool(&g, &d, &cache, &pool);
+            let batched = ev.simulate_batch(&batch);
+            prop_assert_eq!(batched.len(), batch.len());
+            for (i, (got, dep)) in batched.iter().zip(batch.iter()).enumerate() {
+                let want = serial.simulate(dep.seeds, dep.coupons);
+                prop_assert_eq!(
+                    got.expected_benefit.to_bits(),
+                    want.expected_benefit.to_bits(),
+                    "candidate {} benefit, {} workers", i, threads
+                );
+                prop_assert_eq!(
+                    got.mean_redeemed_sc_cost.to_bits(),
+                    want.mean_redeemed_sc_cost.to_bits(),
+                    "candidate {} redeemed cost, {} workers", i, threads
+                );
+                prop_assert_eq!(
+                    got.mean_activated.to_bits(),
+                    want.mean_activated.to_bits(),
+                    "candidate {} activated, {} workers", i, threads
+                );
+                prop_assert_eq!(
+                    got.mean_farthest_hop.to_bits(),
+                    want.mean_farthest_hop.to_bits(),
+                    "candidate {} hops, {} workers", i, threads
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn marginal_gains_are_non_negative_on_monotone_instances(edges in tree_strategy(), seed in 0u64..64) {
+        // With uniform unit benefits the instance is monotone: on a fixed
+        // world, granting a coupon (or adding a seed) can only grow the
+        // activated set. Per-world benefits are small integers and the
+        // world count is a power of two, so all arithmetic below is exact —
+        // the assertion is `>=` with zero tolerance.
+        let n = edges.len() + 1;
+        let g = build(n, &edges);
+        let d = NodeData::uniform(n, 1.0, 1.0, 1.0);
+        let cache = WorldCache::sample(&g, 64, seed);
+        let ev = MonteCarloEvaluator::new(&g, &d, &cache);
+        let base: Vec<u32> = (0..n)
+            .map(|i| (g.out_degree(NodeId(i as u32)) as u32).min(1))
+            .collect();
+        let seeds = [NodeId(0)];
+        let current = ev.expected_benefit(&seeds, &base);
+        // Coupon marginals, batched: one probe per node with headroom.
+        let probes: Vec<Vec<u32>> = (0..n)
+            .filter(|&v| base[v] < g.out_degree(NodeId(v as u32)) as u32)
+            .map(|v| {
+                let mut k = base.clone();
+                k[v] += 1;
+                k
+            })
+            .collect();
+        let batch: Vec<DeploymentRef<'_>> = probes
+            .iter()
+            .map(|k| DeploymentRef { seeds: &seeds, coupons: k })
+            .collect();
+        for (i, stats) in ev.simulate_batch(&batch).iter().enumerate() {
+            prop_assert!(
+                stats.expected_benefit >= current,
+                "coupon probe {} lost benefit: {} < {}",
+                i, stats.expected_benefit, current
+            );
+        }
+        // Seed marginal: adding a second seed never hurts either.
+        let two_seeds = [NodeId(0), NodeId((n / 2) as u32)];
+        let with_seed = ev.expected_benefit(&two_seeds, &base);
+        prop_assert!(
+            with_seed >= current,
+            "extra seed lost benefit: {with_seed} < {current}"
+        );
     }
 
     #[test]

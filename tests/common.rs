@@ -1,6 +1,7 @@
 //! Shared helpers for the cross-crate integration tests.
 
-use osn_graph::{CsrGraph, NodeData, NodeId};
+use osn_graph::{CsrGraph, GraphBuilder, NodeData, NodeId};
+use osn_propagation::SimulationStats;
 use s3crm_core::Deployment;
 
 /// Assemble a deployment from a seed list and sparse `(node, k)` pairs.
@@ -19,4 +20,79 @@ pub fn deployment(n: usize, seeds: &[u32], coupons: &[(u32, u32)]) -> Deployment
 pub fn analytic(graph: &CsrGraph, data: &NodeData, dep: &Deployment) -> (f64, f64, f64) {
     let v = s3crm_core::objective::evaluate(graph, data, dep);
     (v.benefit, v.total_cost(), v.rate)
+}
+
+/// A random out-tree rooted at node 0 with per-level branching and distinct
+/// edge probabilities (the analytic evaluator is exact on trees, making
+/// them the reference instances for evaluator cross-validation).
+pub fn random_tree(depth: usize, branching: usize, seed: u64) -> CsrGraph {
+    use rand::Rng;
+    let mut rng = osn_gen::seeded_rng(seed);
+    let mut b = GraphBuilder::new(1000);
+    let mut next_id = 1u32;
+    let mut frontier = vec![0u32];
+    for _ in 0..depth {
+        let mut new_frontier = Vec::new();
+        for &u in &frontier {
+            for _ in 0..branching {
+                if next_id as usize >= 1000 {
+                    break;
+                }
+                let p: f64 = rng.gen_range(0.05..0.95);
+                b.add_edge(u, next_id, p).unwrap();
+                new_frontier.push(next_id);
+                next_id += 1;
+            }
+        }
+        frontier = new_frontier;
+    }
+    b.build().unwrap()
+}
+
+/// Uniform unit-value node data sized to `graph` (benefit, seed cost, and
+/// SC cost all 1.0) — the workload most consistency tests share.
+pub fn unit_data(graph: &CsrGraph) -> NodeData {
+    NodeData::uniform(graph.node_count(), 1.0, 1.0, 1.0)
+}
+
+/// Field-by-field bit equality of [`SimulationStats`] — stricter than
+/// `PartialEq` (distinguishes `0.0` from `-0.0` and would catch
+/// NaN-compared-equal regressions). The single source of the bit-identity
+/// assertion the determinism and consistency suites are built around.
+pub fn assert_stats_bit_identical(a: &SimulationStats, b: &SimulationStats, what: &str) {
+    assert_eq!(
+        a.expected_benefit.to_bits(),
+        b.expected_benefit.to_bits(),
+        "{what}: expected_benefit {} vs {}",
+        a.expected_benefit,
+        b.expected_benefit
+    );
+    assert_eq!(
+        a.mean_redeemed_sc_cost.to_bits(),
+        b.mean_redeemed_sc_cost.to_bits(),
+        "{what}: mean_redeemed_sc_cost"
+    );
+    assert_eq!(
+        a.mean_activated.to_bits(),
+        b.mean_activated.to_bits(),
+        "{what}: mean_activated"
+    );
+    assert_eq!(
+        a.mean_farthest_hop.to_bits(),
+        b.mean_farthest_hop.to_bits(),
+        "{what}: mean_farthest_hop"
+    );
+}
+
+/// The coupon allocation most consistency tests use on trees: `k = 2` at
+/// the root, one coupon on each node id in `1..extra`.
+pub fn root_heavy_coupons(n: usize, extra: usize) -> Vec<u32> {
+    let mut k = vec![0u32; n];
+    if n > 0 {
+        k[0] = 2;
+    }
+    for kv in k.iter_mut().take(extra.min(n)).skip(1) {
+        *kv = 1;
+    }
+    k
 }

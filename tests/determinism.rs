@@ -6,9 +6,11 @@
 //! here before it corrupts any experiment.
 
 use osn_gen::DatasetProfile;
+use osn_pool::ThreadPool;
 use osn_propagation::world::WorldCache;
-use osn_propagation::{BenefitEvaluator, MonteCarloEvaluator};
+use osn_propagation::{BenefitEvaluator, DeploymentRef, MonteCarloEvaluator, SimulationStats};
 use s3crm_core::{s3ca, S3caConfig};
+use s3crm_tests::assert_stats_bit_identical;
 
 /// Generate-from-scratch twice, run S3CA twice, compare everything.
 #[test]
@@ -90,6 +92,147 @@ fn monte_carlo_evaluation_is_deterministic_across_runs() {
         mc_b.to_bits(),
         "Monte-Carlo estimate not bit-identical: {mc_a} vs {mc_b}"
     );
+}
+
+/// The batched evaluator must be bit-identical to serial per-candidate
+/// evaluation at **every pool size** — 1 worker (the inline fold), 2
+/// workers (the smallest pooled fold), and whatever this machine has. Pool
+/// sizes are forced through the `with_pool`/`sample_with_pool` builders,
+/// never ambient state, so the test means the same thing on every runner.
+#[test]
+fn simulate_batch_is_bit_identical_across_pool_sizes() {
+    let inst = DatasetProfile::Facebook
+        .generate(0.02, 17)
+        .expect("generation");
+    let n = inst.graph.node_count();
+
+    // Candidate deployments of assorted shapes, including ones S3CA itself
+    // would visit (milestone snapshots from a real run).
+    let result = s3ca(&inst.graph, &inst.data, inst.budget, &S3caConfig::default());
+    let mut candidates: Vec<(Vec<osn_graph::NodeId>, Vec<u32>)> = vec![
+        (Vec::new(), vec![0; n]),
+        (vec![osn_graph::NodeId(0)], vec![0; n]),
+        (
+            result.deployment.seeds.clone(),
+            result.deployment.coupons.clone(),
+        ),
+    ];
+    let spread: Vec<u32> = (0..n)
+        .map(|v| inst.graph.out_degree(osn_graph::NodeId(v as u32)).min(2) as u32)
+        .collect();
+    candidates.push((vec![osn_graph::NodeId(0), osn_graph::NodeId(1)], spread));
+
+    // 96 worlds = 3 parts: uneven distribution over 2 workers.
+    let serial_pool = ThreadPool::new(1);
+    let serial_cache = WorldCache::sample_with_pool(&inst.graph, 96, 23, &serial_pool);
+    let serial_ev =
+        MonteCarloEvaluator::with_pool(&inst.graph, &inst.data, &serial_cache, &serial_pool);
+    let reference: Vec<SimulationStats> = candidates
+        .iter()
+        .map(|(seeds, coupons)| serial_ev.simulate(seeds, coupons))
+        .collect();
+
+    for threads in [1usize, 2, osn_pool::default_parallelism()] {
+        let pool = ThreadPool::new(threads);
+        let cache = WorldCache::sample_with_pool(&inst.graph, 96, 23, &pool);
+        let ev = MonteCarloEvaluator::with_pool(&inst.graph, &inst.data, &cache, &pool);
+        let batch: Vec<DeploymentRef<'_>> = candidates
+            .iter()
+            .map(|(seeds, coupons)| DeploymentRef { seeds, coupons })
+            .collect();
+        let stats = ev.simulate_batch(&batch);
+        assert_eq!(stats.len(), candidates.len());
+        for (i, (got, want)) in stats.iter().zip(&reference).enumerate() {
+            assert_stats_bit_identical(
+                got,
+                want,
+                &format!("candidate {i}, {threads}-worker batch vs serial simulate"),
+            );
+        }
+        // Per-candidate calls through the same pool agree too (the batch
+        // path and the lone path share one fold kernel by construction;
+        // this guards against the kernels diverging later).
+        for (i, (seeds, coupons)) in candidates.iter().enumerate() {
+            assert_stats_bit_identical(
+                &ev.simulate(seeds, coupons),
+                &reference[i],
+                &format!("candidate {i}, {threads}-worker lone simulate"),
+            );
+        }
+    }
+}
+
+/// The baselines' parallel fan-outs (IM's round-0 CELF sweep, PM's
+/// per-round candidate scoring) must also be pool-size independent —
+/// forced through the `_on` variants' explicit-pool args, never ambient
+/// state, like the evaluator's `with_pool` builders.
+#[test]
+fn baseline_selections_are_pool_size_independent() {
+    use s3crm_baselines::im::{best_feasible_prefix_on, greedy_seed_ranking_on};
+    use s3crm_baselines::pm::{pm_with_strategy_on, PmConfig};
+    use s3crm_baselines::CouponStrategy;
+
+    let inst = DatasetProfile::Facebook
+        .generate(0.02, 29)
+        .expect("generation");
+    let cache = WorldCache::sample(&inst.graph, 64, 31);
+
+    let reference_pool = ThreadPool::new(1);
+    let im_ref = greedy_seed_ranking_on(&inst.graph, &cache, 32, 6, &reference_pool);
+    let prefix_ref = best_feasible_prefix_on(
+        &inst.graph,
+        &inst.data,
+        inst.budget,
+        CouponStrategy::Limited(2),
+        &im_ref,
+        &cache,
+        &reference_pool,
+    );
+    let pm_ref = pm_with_strategy_on(
+        &inst.graph,
+        &inst.data,
+        inst.budget,
+        CouponStrategy::Limited(2),
+        &PmConfig::default(),
+        &reference_pool,
+    );
+    assert!(!im_ref.is_empty(), "IM reference ranking is vacuous");
+
+    for threads in [2usize, osn_pool::default_parallelism()] {
+        let pool = ThreadPool::new(threads);
+        let im = greedy_seed_ranking_on(&inst.graph, &cache, 32, 6, &pool);
+        assert_eq!(im, im_ref, "IM ranking diverged on a {threads}-worker pool");
+        let prefix = best_feasible_prefix_on(
+            &inst.graph,
+            &inst.data,
+            inst.budget,
+            CouponStrategy::Limited(2),
+            &im,
+            &cache,
+            &pool,
+        );
+        assert_eq!(
+            prefix.seeds, prefix_ref.seeds,
+            "seed-size sweep diverged on a {threads}-worker pool"
+        );
+        assert_eq!(prefix.coupons, prefix_ref.coupons);
+        let pm = pm_with_strategy_on(
+            &inst.graph,
+            &inst.data,
+            inst.budget,
+            CouponStrategy::Limited(2),
+            &PmConfig::default(),
+            &pool,
+        );
+        assert_eq!(
+            pm.seeds, pm_ref.seeds,
+            "PM seeds diverged on a {threads}-worker pool"
+        );
+        assert_eq!(
+            pm.coupons, pm_ref.coupons,
+            "PM coupons diverged on a {threads}-worker pool"
+        );
+    }
 }
 
 /// Different seeds must actually change the generated instance — guards

@@ -1,50 +1,25 @@
 //! Cross-validation of the two benefit evaluators (Lemma 2's estimation
 //! story): the analytic spread evaluator must agree with Monte-Carlo
 //! sampling on forests (where it is exact) and stay close on general
-//! graphs.
+//! graphs — through both the per-candidate and the batched entry points.
+//! Instance construction is shared with the other integration tests via
+//! `s3crm_tests` (`tests/common.rs`).
 
 use osn_gen::{erdos_renyi, seeded_rng, weights};
 use osn_graph::{GraphBuilder, NodeData, NodeId};
+use osn_pool::ThreadPool;
 use osn_propagation::world::WorldCache;
-use osn_propagation::{AnalyticEvaluator, BenefitEvaluator, MonteCarloEvaluator};
-
-/// A random out-tree with per-level branching and distinct probabilities.
-fn random_tree(depth: usize, branching: usize, seed: u64) -> osn_graph::CsrGraph {
-    use rand::Rng;
-    let mut rng = seeded_rng(seed);
-    let mut b = GraphBuilder::new(1000);
-    let mut next_id = 1u32;
-    let mut frontier = vec![0u32];
-    for _ in 0..depth {
-        let mut new_frontier = Vec::new();
-        for &u in &frontier {
-            for _ in 0..branching {
-                if next_id as usize >= 1000 {
-                    break;
-                }
-                let p: f64 = rng.gen_range(0.05..0.95);
-                b.add_edge(u, next_id, p).unwrap();
-                new_frontier.push(next_id);
-                next_id += 1;
-            }
-        }
-        frontier = new_frontier;
-    }
-    b.build().unwrap()
-}
+use osn_propagation::{AnalyticEvaluator, BenefitEvaluator, DeploymentRef, MonteCarloEvaluator};
+use s3crm_tests::{assert_stats_bit_identical, random_tree, root_heavy_coupons, unit_data};
 
 #[test]
 fn exact_on_random_trees() {
     for seed in 0..5u64 {
         let g = random_tree(4, 3, seed);
         let n = g.node_count();
-        let d = NodeData::uniform(n, 1.0, 1.0, 1.0);
+        let d = unit_data(&g);
         // Coupons on the first two levels.
-        let mut k = vec![0u32; n];
-        k[0] = 2;
-        for kv in k.iter_mut().take(10usize.min(n)).skip(1) {
-            *kv = 1;
-        }
+        let k = root_heavy_coupons(n, 10);
         let cache = WorldCache::sample(&g, 30_000, seed ^ 0xF00D);
         let analytic = AnalyticEvaluator::new(&g, &d).expected_benefit(&[NodeId(0)], &k);
         let mc = MonteCarloEvaluator::new(&g, &d, &cache).expected_benefit(&[NodeId(0)], &k);
@@ -53,6 +28,61 @@ fn exact_on_random_trees() {
             (analytic - mc).abs() < tol.max(analytic * 0.02),
             "seed {seed}: analytic {analytic} vs MC {mc}"
         );
+    }
+}
+
+/// The batched path must agree with the serial path **bitwise** and with
+/// the analytic evaluator within Monte-Carlo tolerance — for every batch
+/// element, at more than one pool size.
+#[test]
+fn batched_path_is_consistent_with_serial_and_analytic() {
+    let g = random_tree(4, 3, 11);
+    let n = g.node_count();
+    let d = unit_data(&g);
+    let analytic_ev = AnalyticEvaluator::new(&g, &d);
+
+    // A batch mixing coupon depths and seed sets.
+    let seeds_root = [NodeId(0)];
+    let seeds_pair = [NodeId(0), NodeId(1)];
+    let no_coupons = vec![0u32; n];
+    let shallow = root_heavy_coupons(n, 4);
+    let deep = root_heavy_coupons(n, 30);
+    let batch = [
+        DeploymentRef {
+            seeds: &seeds_root,
+            coupons: &no_coupons,
+        },
+        DeploymentRef {
+            seeds: &seeds_root,
+            coupons: &shallow,
+        },
+        DeploymentRef {
+            seeds: &seeds_pair,
+            coupons: &deep,
+        },
+    ];
+
+    let serial_pool = ThreadPool::new(1);
+    let cache = WorldCache::sample_with_pool(&g, 20_000, 0xBA7C4, &serial_pool);
+    let serial = MonteCarloEvaluator::with_pool(&g, &d, &cache, &serial_pool);
+    for threads in [1usize, 2] {
+        let pool = ThreadPool::new(threads);
+        let ev = MonteCarloEvaluator::with_pool(&g, &d, &cache, &pool);
+        for (i, (stats, dep)) in ev.simulate_batch(&batch).iter().zip(&batch).enumerate() {
+            let lone = serial.simulate(dep.seeds, dep.coupons);
+            assert_stats_bit_identical(
+                stats,
+                &lone,
+                &format!("batch[{i}] at {threads} workers vs serial simulate"),
+            );
+            let exact = analytic_ev.expected_benefit(dep.seeds, dep.coupons);
+            let tol = (3.0 * (exact / 20_000f64).sqrt()).max(0.05);
+            assert!(
+                (stats.expected_benefit - exact).abs() < tol.max(exact * 0.02),
+                "batch[{i}]: MC {} vs analytic {exact}",
+                stats.expected_benefit
+            );
+        }
     }
 }
 
@@ -77,7 +107,7 @@ fn close_on_random_graphs() {
         );
         let g = builder.build().unwrap();
         let n = g.node_count();
-        let d = NodeData::uniform(n, 1.0, 1.0, 1.0);
+        let d = unit_data(&g);
         let k: Vec<u32> = (0..n)
             .map(|v| g.out_degree(NodeId(v as u32)).min(2) as u32)
             .collect();
