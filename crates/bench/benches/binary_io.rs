@@ -1,0 +1,79 @@
+//! Binary `.oscg` load vs plain-text parse — the acceptance benchmark of
+//! the binary-IO PR: loading a ≥100k-edge graph from the binary format must
+//! beat the text edge-list parse by ≥10x, while the round trip stays
+//! bit-identical (asserted in setup; pinned exhaustively by
+//! `crates/graph/tests/binary_io.rs`).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use osn_gen::DatasetProfile;
+use osn_graph::{binary, io};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    // Full-scale Facebook profile: 4 000 nodes, ~176k directed edges.
+    let inst = DatasetProfile::Facebook
+        .generate(1.0, 42)
+        .expect("generation");
+    let graph = inst.graph;
+    assert!(
+        graph.edge_count() >= 100_000,
+        "acceptance demands a >=100k-edge instance, got {}",
+        graph.edge_count()
+    );
+
+    let mut text = Vec::new();
+    io::write_edge_list(&graph, &mut text).expect("text serialize");
+    let bytes = binary::to_bytes(&graph, None).expect("binary serialize");
+    let path =
+        std::env::temp_dir().join(format!("s3crm-binary-io-bench-{}.oscg", std::process::id()));
+    std::fs::write(&path, &bytes).expect("write .oscg");
+
+    // Round trip is bit-identical before any timing matters.
+    let reloaded = binary::load_oscg(&path).expect("load").graph;
+    assert_eq!(reloaded.edge_targets_flat(), graph.edge_targets_flat());
+    for (a, b) in reloaded
+        .edge_probs_flat()
+        .iter()
+        .zip(graph.edge_probs_flat())
+    {
+        assert_eq!(a.to_bits(), b.to_bits(), "round trip must be bit-identical");
+    }
+
+    let mut group = c.benchmark_group("binary_io");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    group.bench_function("text_parse_176k_edges", |b| {
+        b.iter(|| {
+            let list = io::read_edge_list(black_box(text.as_slice())).expect("parse");
+            let g = list
+                .into_builder(0)
+                .expect("builder")
+                .build()
+                .expect("build");
+            g.edge_count()
+        })
+    });
+    group.bench_function("oscg_mmap_load", |b| {
+        b.iter(|| {
+            binary::load_oscg(black_box(&path))
+                .expect("load")
+                .graph
+                .edge_count()
+        })
+    });
+    group.bench_function("oscg_explicit_read", |b| {
+        b.iter(|| {
+            binary::from_bytes(black_box(&bytes))
+                .expect("parse")
+                .graph
+                .edge_count()
+        })
+    });
+    group.finish();
+    std::fs::remove_file(&path).ok();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -5,28 +5,36 @@
 //! cargo run -p s3crm-bench --release --bin repro -- fig6    # one artifact
 //! cargo run -p s3crm-bench --release --bin repro -- --full  # overnight preset
 //! cargo run -p s3crm-bench --release --bin repro -- --scale 2.0 fig9
+//! cargo run -p s3crm-bench --release --bin repro -- --cache .oscg-cache fig6
+//! cargo run -p s3crm-bench --release --bin repro -- --data soc-Epinions1.txt data
+//! cargo run -p s3crm-bench --release --bin repro -- convert edges.txt edges.oscg
 //! ```
 //!
 //! Results print as aligned tables and are written as CSV under
-//! `experiments-out/`.
+//! `experiments-out/`. `--data PATH` substitutes a real dataset (SNAP text
+//! or `.oscg` binary, auto-detected) for the synthetic profiles; `convert`
+//! re-encodes a dataset as binary; `--cache DIR` memoizes generated
+//! profiles as `.oscg` files.
 
 use osn_gen::DatasetProfile;
 use s3crm_bench::experiments::{
-    ablation, extensions, fig10, fig6, fig7, fig8, fig9, table3, table4,
+    ablation, dataset as data_experiment, extensions, fig10, fig6, fig7, fig8, fig9, table3, table4,
 };
-use s3crm_bench::{Effort, Table};
+use s3crm_bench::{dataset, Effort, Table};
 use std::path::PathBuf;
 
 struct Args {
     effort: Effort,
     artifacts: Vec<String>,
     out_dir: PathBuf,
+    data: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
     let mut effort = Effort::quick();
     let mut artifacts: Vec<String> = Vec::new();
     let mut out_dir = PathBuf::from("experiments-out");
+    let mut data: Option<PathBuf> = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -60,11 +68,16 @@ fn parse_args() -> Args {
                 osn_pool::init_global(threads).expect("duplicate --pool-size: pool already built");
             }
             "--out" => out_dir = PathBuf::from(it.next().expect("--out needs a path")),
+            "--data" => data = Some(PathBuf::from(it.next().expect("--data needs a path"))),
+            "--cache" => {
+                dataset::set_cache_dir(PathBuf::from(it.next().expect("--cache needs a directory")))
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: repro [--full|--micro] [--scale X] [--worlds N] [--seed N] \
-                     [--pool-size N] [--out DIR] \
-                     [fig6 fig7 fig8 fig9 fig10 table3 table4 ablation extensions]..."
+                     [--pool-size N] [--out DIR] [--cache DIR] [--data PATH] \
+                     [fig6 fig7 fig8 fig9 fig10 table3 table4 ablation extensions data]...\n\
+                     \x20      repro convert INPUT OUTPUT   # re-encode a dataset as .oscg"
                 );
                 std::process::exit(0);
             }
@@ -72,25 +85,51 @@ fn parse_args() -> Args {
         }
     }
     if artifacts.is_empty() {
-        artifacts = [
-            "fig6",
-            "fig7",
-            "fig8",
-            "fig9",
-            "fig10",
-            "table3",
-            "table4",
-            "ablation",
-            "extensions",
-        ]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+        // With a dataset on the command line the natural default is the
+        // dataset sweep; otherwise the full paper reproduction.
+        artifacts = if data.is_some() {
+            vec!["data".to_string()]
+        } else {
+            [
+                "fig6",
+                "fig7",
+                "fig8",
+                "fig9",
+                "fig10",
+                "table3",
+                "table4",
+                "ablation",
+                "extensions",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+        };
     }
     Args {
         effort,
         artifacts,
         out_dir,
+        data,
+    }
+}
+
+/// `repro convert INPUT OUTPUT` — runs before the experiment loop.
+fn run_convert(paths: &[String]) -> ! {
+    let [input, output] = paths else {
+        eprintln!("usage: repro convert INPUT OUTPUT");
+        std::process::exit(2);
+    };
+    match dataset::convert(std::path::Path::new(input), std::path::Path::new(output)) {
+        Ok(()) => {
+            let size = std::fs::metadata(output).map(|m| m.len()).unwrap_or(0);
+            println!("converted {input} -> {output} ({size} bytes)");
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("convert failed: {e}");
+            std::process::exit(1);
+        }
     }
 }
 
@@ -103,6 +142,9 @@ fn emit(table: Table, out_dir: &std::path::Path, name: &str) {
 
 fn main() {
     let args = parse_args();
+    if args.artifacts.first().map(String::as_str) == Some("convert") {
+        run_convert(&args.artifacts[1..]);
+    }
     let e = &args.effort;
     println!(
         "# S3CRM reproduction harness — scale x{}, {} eval worlds, seed {}, {} pool workers",
@@ -222,6 +264,34 @@ fn main() {
                     &args.out_dir,
                     "table4_runtime",
                 );
+            }
+            "data" => {
+                let path = args.data.as_deref().unwrap_or_else(|| {
+                    eprintln!("the data artifact needs --data PATH");
+                    std::process::exit(2);
+                });
+                let ds = match dataset::load_dataset(path, e) {
+                    Ok(ds) => ds,
+                    Err(err) => {
+                        eprintln!("could not load {}: {err}", path.display());
+                        std::process::exit(1);
+                    }
+                };
+                println!(
+                    "# dataset {}: {} nodes, {} edges, default Binv {:.1}{}",
+                    ds.name,
+                    ds.graph.node_count(),
+                    ds.graph.edge_count(),
+                    ds.budget,
+                    if ds.graph.is_mapped() {
+                        " (memory-mapped)"
+                    } else {
+                        ""
+                    }
+                );
+                let (rate, benefit) = data_experiment::budget_sweep(&ds, e);
+                emit(rate, &args.out_dir, "data_rate_vs_budget");
+                emit(benefit, &args.out_dir, "data_benefit_vs_budget");
             }
             "extensions" => {
                 emit(

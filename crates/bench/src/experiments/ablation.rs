@@ -20,9 +20,7 @@ use std::time::Instant;
 
 /// Phase ablation across budget factors.
 pub fn phase_ablation(profile: DatasetProfile, effort: &Effort) -> Table {
-    let inst = profile
-        .generate(effort.profile_scale(profile), effort.seed)
-        .expect("profile generation");
+    let inst = crate::dataset::profile_instance(profile, effort);
     let mut table = Table::new(
         format!("Ablation: S3CA phases [{}]", profile.name()),
         &[
@@ -59,9 +57,7 @@ pub fn phase_ablation(profile: DatasetProfile, effort: &Effort) -> Table {
 /// evaluator vs Monte-Carlo at increasing world counts, on the S3CA
 /// deployment for the instance.
 pub fn evaluator_ablation(profile: DatasetProfile, effort: &Effort) -> Table {
-    let inst = profile
-        .generate(effort.profile_scale(profile), effort.seed)
-        .expect("profile generation");
+    let inst = crate::dataset::profile_instance(profile, effort);
     let dep = s3ca(&inst.graph, &inst.data, inst.budget, &S3caConfig::default()).deployment;
 
     let mut table = Table::new(

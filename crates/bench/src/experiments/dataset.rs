@@ -1,0 +1,62 @@
+//! `repro --data` — the paper's Fig. 6-style investment-efficiency sweep
+//! over a user-supplied dataset (real SNAP edge list or `.oscg` binary)
+//! instead of a synthetic Table II profile.
+//!
+//! The sweep *is* Fig. 6(a)/(b)'s — [`super::fig6::rate_and_benefit_sweep`]
+//! runs here over the loaded instance, so the dataset path and the paper
+//! figure can never drift apart. Running it on the same network in text and
+//! binary form must produce byte-identical CSVs — CI enforces exactly that.
+
+use crate::dataset::LoadedDataset;
+use crate::effort::Effort;
+use crate::table::Table;
+
+/// Redemption rate and total benefit vs `Binv` on a loaded dataset, at
+/// [`super::fig6::BUDGET_FACTORS`] multiples of the instance default.
+pub fn budget_sweep(ds: &LoadedDataset, effort: &Effort) -> (Table, Table) {
+    super::fig6::rate_and_benefit_sweep(
+        &ds.graph,
+        &ds.data,
+        ds.budget,
+        format!("Data: redemption rate vs Binv [{}]", ds.name),
+        format!("Data: total benefit vs Binv [{}]", ds.name),
+        effort,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::load_dataset;
+    use crate::experiments::fig6::BUDGET_FACTORS;
+    use crate::scenario::Algorithm;
+
+    #[test]
+    fn sweep_over_a_tiny_text_dataset_fills_both_tables() {
+        let path =
+            std::env::temp_dir().join(format!("s3crm-dataset-sweep-{}.txt", std::process::id()));
+        let mut text = String::from("# ring of 12 with chords\n");
+        for i in 0u32..12 {
+            text.push_str(&format!("{} {}\n", i, (i + 1) % 12));
+            text.push_str(&format!("{} {}\n", i, (i + 5) % 12));
+        }
+        std::fs::write(&path, text).unwrap();
+
+        let mut effort = Effort::micro();
+        effort.eval_worlds = 16;
+        effort.im_worlds = 4;
+        let ds = load_dataset(&path, &effort).unwrap();
+        let (rate, benefit) = budget_sweep(&ds, &effort);
+        assert_eq!(rate.rows.len(), BUDGET_FACTORS.len());
+        assert_eq!(benefit.rows.len(), BUDGET_FACTORS.len());
+        assert_eq!(rate.headers.len(), 1 + Algorithm::PAPER_SET.len());
+        // Rates are probabilities; a malformed workload would blow past 1.
+        for row in &rate.rows {
+            for cell in &row[1..] {
+                let v: f64 = cell.parse().unwrap();
+                assert!((0.0..=1.0001).contains(&v), "rate {v} out of range");
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

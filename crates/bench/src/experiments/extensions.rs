@@ -23,9 +23,7 @@ use std::time::Instant;
 
 /// CELF-greedy vs RIS ranking on one profile.
 pub fn ris_vs_celf(profile: DatasetProfile, effort: &Effort) -> Table {
-    let inst = profile
-        .generate(effort.profile_scale(profile), effort.seed)
-        .expect("profile generation");
+    let inst = crate::dataset::profile_instance(profile, effort);
     let cache = WorldCache::sample(&inst.graph, effort.eval_worlds, effort.seed ^ 0xC0DE);
     let mut table = Table::new(
         format!(
@@ -78,9 +76,7 @@ pub fn ris_vs_celf(profile: DatasetProfile, effort: &Effort) -> Table {
 
 /// LT vs coupon-constrained IC influence of the same seed sets.
 pub fn lt_vs_coupon_ic(profile: DatasetProfile, effort: &Effort) -> Table {
-    let inst = profile
-        .generate(effort.profile_scale(profile), effort.seed)
-        .expect("profile generation");
+    let inst = crate::dataset::profile_instance(profile, effort);
     let cache = WorldCache::sample(&inst.graph, effort.eval_worlds, effort.seed ^ 0x17);
     let mut table = Table::new(
         format!("Extension: LT vs coupon-IC activation [{}]", profile.name()),

@@ -16,46 +16,52 @@ use crate::scenario::Algorithm;
 use crate::table::{num, Table};
 use osn_gen::attrs::calibrate_lambda;
 use osn_gen::DatasetProfile;
+use osn_graph::{CsrGraph, NodeData};
 
 /// The budget sweep, as multiples of the profile's Table II default.
 pub const BUDGET_FACTORS: [f64; 5] = [0.6, 0.8, 1.0, 1.2, 1.4];
 /// The λ sweep.
 pub const LAMBDAS: [f64; 4] = [0.5, 1.0, 2.0, 4.0];
 
-/// Redemption rate and total benefit vs `Binv` — Fig. 6(a)(b).
-pub fn rate_and_benefit_vs_budget(profile: DatasetProfile, effort: &Effort) -> (Table, Table) {
-    let inst = profile
-        .generate(effort.profile_scale(profile), effort.seed)
-        .expect("profile generation");
-    let mut rate = Table::new(
-        format!("Fig 6(a): redemption rate vs Binv [{}]", profile.name()),
-        &headers_with("Binv"),
-    );
-    let mut benefit = Table::new(
-        format!("Fig 6(b): total benefit vs Binv [{}]", profile.name()),
-        &headers_with("Binv"),
-    );
+/// The Fig. 6(a)/(b) sweep body over any instance: every paper algorithm
+/// at [`BUDGET_FACTORS`] multiples of `budget`, reporting redemption rate
+/// and total benefit. Shared with the `repro --data` dataset sweep
+/// ([`super::dataset`]) so the two can never drift apart.
+pub fn rate_and_benefit_sweep(
+    graph: &CsrGraph,
+    data: &NodeData,
+    budget: f64,
+    rate_title: String,
+    benefit_title: String,
+    effort: &Effort,
+) -> (Table, Table) {
+    let mut rate = Table::new(rate_title, &headers_with("Binv"));
+    let mut benefit = Table::new(benefit_title, &headers_with("Binv"));
     for factor in BUDGET_FACTORS {
-        let binv = inst.budget * factor;
-        let rows = evaluate_all(
-            &inst.graph,
-            &inst.data,
-            binv,
-            &Algorithm::PAPER_SET,
-            32,
-            effort,
-        );
+        let binv = budget * factor;
+        let rows = evaluate_all(graph, data, binv, &Algorithm::PAPER_SET, 32, effort);
         rate.push_row(row_of(num(binv), &rows, |r| r.report.redemption_rate));
         benefit.push_row(row_of(num(binv), &rows, |r| r.report.expected_benefit));
     }
     (rate, benefit)
 }
 
+/// Redemption rate and total benefit vs `Binv` — Fig. 6(a)(b).
+pub fn rate_and_benefit_vs_budget(profile: DatasetProfile, effort: &Effort) -> (Table, Table) {
+    let inst = crate::dataset::profile_instance(profile, effort);
+    rate_and_benefit_sweep(
+        &inst.graph,
+        &inst.data,
+        inst.budget,
+        format!("Fig 6(a): redemption rate vs Binv [{}]", profile.name()),
+        format!("Fig 6(b): total benefit vs Binv [{}]", profile.name()),
+        effort,
+    )
+}
+
 /// Redemption rate vs λ — Fig. 6(c)(d).
 pub fn rate_vs_lambda(profile: DatasetProfile, effort: &Effort) -> Table {
-    let base = profile
-        .generate(effort.profile_scale(profile), effort.seed)
-        .expect("profile generation");
+    let base = crate::dataset::profile_instance(profile, effort);
     let mut table = Table::new(
         format!("Fig 6(c/d): redemption rate vs lambda [{}]", profile.name()),
         &headers_with("lambda"),
@@ -78,9 +84,7 @@ pub fn rate_vs_lambda(profile: DatasetProfile, effort: &Effort) -> Table {
 
 /// Running time per algorithm at a budget factor — Fig. 6(e)(f).
 pub fn running_time(profile: DatasetProfile, budget_factor: f64, effort: &Effort) -> Table {
-    let inst = profile
-        .generate(effort.profile_scale(profile), effort.seed)
-        .expect("profile generation");
+    let inst = crate::dataset::profile_instance(profile, effort);
     let mut table = Table::new(
         format!(
             "Fig 6(e/f): running time (ms) at {:.1}x default Binv [{}]",

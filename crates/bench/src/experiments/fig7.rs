@@ -19,9 +19,7 @@ pub const KAPPAS: [f64; 4] = [5.0, 10.0, 20.0, 40.0];
 
 /// Seed–SC rate vs budget — Fig. 7(a)(b).
 pub fn seed_sc_vs_budget(profile: DatasetProfile, effort: &Effort) -> Table {
-    let inst = profile
-        .generate(effort.profile_scale(profile), effort.seed)
-        .expect("profile generation");
+    let inst = crate::dataset::profile_instance(profile, effort);
     let mut table = Table::new(
         format!("Fig 7(a/b): seed-SC rate vs Binv [{}]", profile.name()),
         &headers_with("Binv"),
@@ -43,9 +41,7 @@ pub fn seed_sc_vs_budget(profile: DatasetProfile, effort: &Effort) -> Table {
 
 /// Seed–SC rate vs λ — Fig. 7(c)(d).
 pub fn seed_sc_vs_lambda(profile: DatasetProfile, effort: &Effort) -> Table {
-    let base = profile
-        .generate(effort.profile_scale(profile), effort.seed)
-        .expect("profile generation");
+    let base = crate::dataset::profile_instance(profile, effort);
     let mut table = Table::new(
         format!("Fig 7(c/d): seed-SC rate vs lambda [{}]", profile.name()),
         &headers_with("lambda"),
@@ -68,9 +64,7 @@ pub fn seed_sc_vs_lambda(profile: DatasetProfile, effort: &Effort) -> Table {
 
 /// Seed–SC rate vs κ — Fig. 7(e)(f).
 pub fn seed_sc_vs_kappa(profile: DatasetProfile, effort: &Effort) -> Table {
-    let base = profile
-        .generate(effort.profile_scale(profile), effort.seed)
-        .expect("profile generation");
+    let base = crate::dataset::profile_instance(profile, effort);
     let mut table = Table::new(
         format!("Fig 7(e/f): seed-SC rate vs kappa [{}]", profile.name()),
         &headers_with("kappa"),

@@ -37,9 +37,7 @@ pub const CASE_SET: [Algorithm; 5] = [
 /// (c)(d) for Booking.com.
 pub fn case_study(policy: CouponPolicy, effort: &Effort) -> (Table, Table) {
     let profile = DatasetProfile::Facebook;
-    let base = profile
-        .generate(effort.profile_scale(profile), effort.seed)
-        .expect("profile generation");
+    let base = crate::dataset::profile_instance(profile, effort);
     let n = base.graph.node_count();
 
     // Uniform policy SC costs; adoption probabilities derived from them.

@@ -1,6 +1,7 @@
 //! One module per paper artifact (see the crate docs for the mapping).
 
 pub mod ablation;
+pub mod dataset;
 pub mod extensions;
 pub mod fig10;
 pub mod fig6;

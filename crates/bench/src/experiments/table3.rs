@@ -16,9 +16,7 @@ pub fn farthest_hops(profiles: &[DatasetProfile], effort: &Effort) -> Table {
     headers.extend(Algorithm::TABLE3_SET.iter().map(|a| a.label()));
     let mut table = Table::new("Table III: average farthest hops from seeds", &headers);
     for &profile in profiles {
-        let inst = profile
-            .generate(effort.profile_scale(profile), effort.seed)
-            .expect("profile generation");
+        let inst = crate::dataset::profile_instance(profile, effort);
         let rows = evaluate_all(
             &inst.graph,
             &inst.data,

@@ -19,9 +19,7 @@ pub fn running_time(profiles: &[DatasetProfile], effort: &Effort) -> Table {
         &["Dataset", "0.6x", "0.8x", "1.0x", "1.2x", "1.4x"],
     );
     for &profile in profiles {
-        let inst = profile
-            .generate(effort.profile_scale(profile), effort.seed)
-            .expect("profile generation");
+        let inst = crate::dataset::profile_instance(profile, effort);
         let mut cells = vec![profile.name().to_string()];
         for factor in BUDGET_FACTORS {
             let result = s3ca(

@@ -14,15 +14,20 @@
 //! | [`experiments::table3`] | Table III — average farthest hop from seeds |
 //! | [`experiments::table4`] | Table IV — S3CA running time vs `Binv` |
 //! | [`experiments::ablation`] | (extension) phase & evaluator ablations |
+//! | [`experiments::dataset`] | (extension) Fig. 6-style sweep over a user dataset (`repro --data`) |
 //!
 //! Run everything with `cargo run -p s3crm-bench --release --bin repro`;
-//! Criterion micro-benches live under `crates/bench/benches/`.
+//! Criterion micro-benches live under `crates/bench/benches/`. The
+//! [`dataset`] module is the instance choke point: it loads real SNAP /
+//! `.oscg` datasets (`--data`, `convert`) and routes profile generation
+//! through the `.oscg` cache (`--cache`).
 //!
 //! Absolute numbers differ from the paper (synthetic dataset substitutes,
 //! different hardware — see `DESIGN.md`); the harness is about reproducing
 //! the *shape*: who wins, by roughly what factor, and how curves move with
 //! each swept parameter. `EXPERIMENTS.md` records paper-vs-measured.
 
+pub mod dataset;
 pub mod effort;
 pub mod experiments;
 pub mod runner;

@@ -16,6 +16,9 @@
 //! * [`configuration`] — power-law configuration model for the η sweep;
 //! * [`profiles`] — dataset-shaped presets replicating Table II
 //!   (node/edge counts, `Binv`, benefit µ/σ) with a `scale` knob;
+//! * [`cache`] — content-hash-keyed `.oscg` memoization of generated
+//!   profile instances, so repeated runs mmap the finished CSR instead of
+//!   regenerating it;
 //! * [`fixtures`] — the exact worked-example instances of the paper (Fig. 1
 //!   and Example 1) used by the integration tests;
 //! * [`weights`] — influence-probability models (`P(e(i,j)) = 1/in-degree`,
@@ -30,6 +33,7 @@
 pub mod adoption;
 pub mod attrs;
 pub mod barabasi_albert;
+pub mod cache;
 pub mod configuration;
 pub mod erdos_renyi;
 pub mod fixtures;

@@ -6,27 +6,32 @@
 //! is simply its index within the node's CSR slice.
 
 use crate::ids::NodeId;
+use crate::storage::Section;
 
 /// Immutable directed weighted graph in CSR form.
 ///
-/// Construction goes through [`GraphBuilder`](crate::GraphBuilder).
-#[derive(Clone, Debug)]
+/// Construction goes through [`GraphBuilder`](crate::GraphBuilder), or
+/// zero-copy from a memory-mapped `.oscg` file via [`crate::binary`] — every
+/// adjacency array is a [`Section`] that is either owned or a typed window
+/// into the map, so algorithms run unchanged over both.
+#[derive(Clone, Debug, PartialEq)]
 pub struct CsrGraph {
     n: u32,
-    /// Forward adjacency offsets, length `n + 1`.
-    offsets: Vec<u32>,
+    /// Forward adjacency offsets, length `n + 1` (`u64` to match the on-disk
+    /// section layout; edge ids still fit `u32`, which `build` asserts).
+    offsets: Section<u64>,
     /// Edge targets, grouped by source, sorted by descending probability.
-    targets: Vec<NodeId>,
+    targets: Section<NodeId>,
     /// Influence probability of each forward edge (parallel to `targets`).
-    probs: Vec<f64>,
+    probs: Section<f64>,
     /// Reverse adjacency offsets, length `n + 1`.
-    in_offsets: Vec<u32>,
+    in_offsets: Section<u64>,
     /// Edge sources, grouped by target (ascending source id).
-    in_sources: Vec<NodeId>,
+    in_sources: Section<NodeId>,
     /// Influence probability of each reverse edge (parallel to
     /// `in_sources`) — needed by reverse-reachable sampling and the
     /// linear-threshold comparison model.
-    in_probs: Vec<f64>,
+    in_probs: Section<f64>,
 }
 
 impl CsrGraph {
@@ -44,7 +49,7 @@ impl CsrGraph {
                 .then(a.1.cmp(&b.1))
         });
 
-        let mut offsets = vec![0u32; n as usize + 1];
+        let mut offsets = vec![0u64; n as usize + 1];
         for &(u, _, _) in &edges {
             offsets[u as usize + 1] += 1;
         }
@@ -60,7 +65,7 @@ impl CsrGraph {
         }
 
         // Reverse adjacency via counting sort on targets.
-        let mut in_offsets = vec![0u32; n as usize + 1];
+        let mut in_offsets = vec![0u64; n as usize + 1];
         for &(_, v, _) in &edges {
             in_offsets[v as usize + 1] += 1;
         }
@@ -79,6 +84,33 @@ impl CsrGraph {
 
         CsrGraph {
             n,
+            offsets: offsets.into(),
+            targets: targets.into(),
+            probs: probs.into(),
+            in_offsets: in_offsets.into(),
+            in_sources: in_sources.into(),
+            in_probs: in_probs.into(),
+        }
+    }
+
+    /// Assemble from pre-validated sections (the binary loader's entry
+    /// point — see [`crate::binary`], which checks every structural
+    /// invariant before calling this).
+    pub(crate) fn from_sections(
+        n: u32,
+        offsets: Section<u64>,
+        targets: Section<NodeId>,
+        probs: Section<f64>,
+        in_offsets: Section<u64>,
+        in_sources: Section<NodeId>,
+        in_probs: Section<f64>,
+    ) -> Self {
+        debug_assert_eq!(offsets.len(), n as usize + 1);
+        debug_assert_eq!(in_offsets.len(), n as usize + 1);
+        debug_assert_eq!(targets.len(), probs.len());
+        debug_assert_eq!(in_sources.len(), in_probs.len());
+        CsrGraph {
+            n,
             offsets,
             targets,
             probs,
@@ -86,6 +118,35 @@ impl CsrGraph {
             in_sources,
             in_probs,
         }
+    }
+
+    /// True when at least one adjacency section borrows a memory map
+    /// (i.e. the graph came through the zero-copy `.oscg` path).
+    pub fn is_mapped(&self) -> bool {
+        self.offsets.is_mapped() || self.targets.is_mapped() || self.probs.is_mapped()
+    }
+
+    /// Flat reverse-adjacency sources (grouped by target) — the reverse
+    /// counterpart of [`edge_targets_flat`](Self::edge_targets_flat), used
+    /// by the binary writer.
+    pub(crate) fn in_sources_flat(&self) -> &[NodeId] {
+        &self.in_sources
+    }
+
+    /// Flat reverse-adjacency probabilities (parallel to
+    /// [`in_sources_flat`](Self::in_sources_flat)).
+    pub(crate) fn in_probs_flat(&self) -> &[f64] {
+        &self.in_probs
+    }
+
+    /// Forward adjacency offsets, length `n + 1`.
+    pub(crate) fn offsets_raw(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// Reverse adjacency offsets, length `n + 1`.
+    pub(crate) fn in_offsets_raw(&self) -> &[u64] {
+        &self.in_offsets
     }
 
     /// Number of nodes.
@@ -147,10 +208,10 @@ impl CsrGraph {
 
     /// Global edge-index range of `v`'s out-edges; a stable edge id usable to
     /// index per-edge side arrays (e.g. live-edge bitsets in Monte-Carlo
-    /// world sampling).
+    /// world sampling). Edge ids fit `u32` (asserted at build/load time).
     #[inline]
     pub fn out_edge_ids(&self, v: NodeId) -> std::ops::Range<u32> {
-        self.offsets[v.index()]..self.offsets[v.index() + 1]
+        self.offsets[v.index()] as u32..self.offsets[v.index() + 1] as u32
     }
 
     /// Sources of edges pointing at `v`.

@@ -21,6 +21,20 @@ pub enum GraphError {
     },
     /// Edge-list parse failure.
     Parse { line: usize, message: String },
+    /// A binary graph file did not start with the `.oscg` magic bytes.
+    BadMagic { got: [u8; 4] },
+    /// A binary graph file declared a format version this build cannot read.
+    UnsupportedVersion { got: u16 },
+    /// A binary graph file ended before its declared sections.
+    Truncated { needed: u64, got: u64 },
+    /// A binary graph file's payload did not hash to the stored checksum.
+    ChecksumMismatch { stored: u64, computed: u64 },
+    /// A binary graph file's section violated a structural invariant
+    /// (non-monotone offsets, out-of-range ids, trailing bytes, ...).
+    CorruptSection {
+        section: &'static str,
+        detail: String,
+    },
     /// Underlying I/O failure.
     Io(std::io::Error),
 }
@@ -46,6 +60,24 @@ impl fmt::Display for GraphError {
             }
             GraphError::Parse { line, message } => {
                 write!(f, "edge-list parse error on line {line}: {message}")
+            }
+            GraphError::BadMagic { got } => {
+                write!(f, "not an .oscg file: magic bytes {got:?} != b\"OSCG\"")
+            }
+            GraphError::UnsupportedVersion { got } => {
+                write!(f, "unsupported .oscg format version {got}")
+            }
+            GraphError::Truncated { needed, got } => {
+                write!(f, ".oscg file truncated: need {needed} bytes, have {got}")
+            }
+            GraphError::ChecksumMismatch { stored, computed } => {
+                write!(
+                    f,
+                    ".oscg checksum mismatch: header says {stored:#018x}, payload hashes to {computed:#018x}"
+                )
+            }
+            GraphError::CorruptSection { section, detail } => {
+                write!(f, ".oscg section {section:?} is corrupt: {detail}")
             }
             GraphError::Io(e) => write!(f, "i/o error: {e}"),
         }
@@ -86,6 +118,29 @@ mod tests {
             message: "bad".into(),
         };
         assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn binary_format_messages_are_informative() {
+        let e = GraphError::BadMagic { got: *b"PNG\0" };
+        assert!(e.to_string().contains("OSCG"));
+        let e = GraphError::UnsupportedVersion { got: 9 };
+        assert!(e.to_string().contains('9'));
+        let e = GraphError::Truncated {
+            needed: 128,
+            got: 10,
+        };
+        assert!(e.to_string().contains("128"));
+        let e = GraphError::ChecksumMismatch {
+            stored: 1,
+            computed: 2,
+        };
+        assert!(e.to_string().contains("checksum"));
+        let e = GraphError::CorruptSection {
+            section: "offsets",
+            detail: "not monotone".into(),
+        };
+        assert!(e.to_string().contains("offsets"));
     }
 
     #[test]

@@ -12,6 +12,13 @@ use crate::error::GraphError;
 use std::io::{BufRead, Write};
 
 /// A parsed edge list: endpoints with optional explicit probabilities.
+///
+/// Edges are kept in file order, duplicates included — deduplication is
+/// [`GraphBuilder::build`]'s job, and its policy is **last-wins**: when a
+/// file repeats `(u, v)` with conflicting probabilities, the probability on
+/// the *last* such line is the one the built graph carries (matching the
+/// builder's behavior for programmatic inserts, where a weight model
+/// overwrites placeholder probabilities).
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct EdgeList {
     /// `(source, target, probability)`; probability is 0.0 when the file did
@@ -19,6 +26,11 @@ pub struct EdgeList {
     pub edges: Vec<(u32, u32, f64)>,
     /// `1 + max node id` seen; 0 for an empty list.
     pub node_count: usize,
+    /// True when at least one line carried an explicit probability column —
+    /// lets callers distinguish a deliberately weighted file (explicit
+    /// zeros included) from a plain two-column SNAP list awaiting a weight
+    /// model.
+    pub has_explicit_probs: bool,
 }
 
 impl EdgeList {
@@ -38,9 +50,20 @@ impl EdgeList {
 }
 
 /// Read a SNAP-style edge list.
+///
+/// Duplicate `(u, v)` lines are accepted and preserved in order; when their
+/// probabilities conflict, the **last occurrence wins** once the list is
+/// built into a graph (see [`EdgeList`]).
+///
+/// Every edge line must have the same shape: all two-column (weightless) or
+/// all three-column (weighted). A file mixing the two is rejected with a
+/// [`GraphError::Parse`] naming the first inconsistent line — in a mixed
+/// file an absent column is indistinguishable from an explicit 0, and
+/// guessing would silently kill (or invent) edges.
 pub fn read_edge_list<R: BufRead>(reader: R) -> Result<EdgeList, GraphError> {
     let mut edges = Vec::new();
     let mut max_id: Option<u32> = None;
+    let mut has_explicit_probs = false;
     for (lineno, line) in reader.lines().enumerate() {
         let line = line?;
         let trimmed = line.trim();
@@ -50,6 +73,19 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<EdgeList, GraphError> {
         let mut parts = trimmed.split_whitespace();
         let u = parse_field(parts.next(), lineno + 1, "source")?;
         let v = parse_field(parts.next(), lineno + 1, "target")?;
+        let explicit = parts.clone().next().is_some();
+        if !edges.is_empty() && explicit != has_explicit_probs {
+            return Err(GraphError::Parse {
+                line: lineno + 1,
+                message: format!(
+                    "file mixes weighted and unweighted lines (this line has \
+                     {} probability column, earlier lines {})",
+                    if explicit { "a" } else { "no" },
+                    if has_explicit_probs { "do" } else { "do not" },
+                ),
+            });
+        }
+        has_explicit_probs = explicit;
         let p = match parts.next() {
             Some(tok) => tok.parse::<f64>().map_err(|e| GraphError::Parse {
                 line: lineno + 1,
@@ -63,6 +99,7 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<EdgeList, GraphError> {
     Ok(EdgeList {
         edges,
         node_count: max_id.map_or(0, |m| m as usize + 1),
+        has_explicit_probs,
     })
 }
 
@@ -95,11 +132,47 @@ mod tests {
 
     #[test]
     fn parses_snap_style_file() {
-        let text = "# comment\n0 1\n1 2 0.25\n\n2 0\n";
+        let text = "# comment\n0 1 0.5\n1 2 0.25\n\n2 0 1\n";
         let el = read_edge_list(text.as_bytes()).unwrap();
         assert_eq!(el.node_count, 3);
         assert_eq!(el.edges.len(), 3);
         assert_eq!(el.edges[1], (1, 2, 0.25));
+        assert!(el.has_explicit_probs);
+    }
+
+    #[test]
+    fn parses_bare_two_column_file() {
+        let el = read_edge_list("# snap\n0 1\n1 2\n2 0\n".as_bytes()).unwrap();
+        assert_eq!(el.node_count, 3);
+        assert_eq!(el.edges.len(), 3);
+        assert!(!el.has_explicit_probs);
+    }
+
+    #[test]
+    fn mixed_weighted_and_bare_lines_are_rejected() {
+        // An absent column is indistinguishable from an explicit 0, so a
+        // mixed file is refused loudly instead of silently guessing.
+        let err = read_edge_list("0 1 0.5\n1 2\n".as_bytes()).unwrap_err();
+        assert!(
+            matches!(err, GraphError::Parse { line: 2, .. }),
+            "expected Parse at line 2, got {err:?}"
+        );
+        let err = read_edge_list("0 1\n1 2 0.5\n".as_bytes()).unwrap_err();
+        assert!(
+            matches!(err, GraphError::Parse { line: 2, .. }),
+            "expected Parse at line 2, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn explicit_zero_probabilities_are_distinguishable_from_absent() {
+        // Two-column lines: no explicit probabilities anywhere.
+        let bare = read_edge_list("0 1\n1 2\n".as_bytes()).unwrap();
+        assert!(!bare.has_explicit_probs);
+        // Explicit zeros: same stored values, but the flag records intent.
+        let zeroed = read_edge_list("0 1 0.0\n1 2 0\n".as_bytes()).unwrap();
+        assert!(zeroed.has_explicit_probs);
+        assert_eq!(bare.edges, zeroed.edges);
     }
 
     #[test]
@@ -122,6 +195,18 @@ mod tests {
         let el = read_edge_list(text.as_bytes()).unwrap();
         let g = el.into_builder(0).unwrap().build().unwrap();
         assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_edges_with_conflicting_weights_keep_the_last_line() {
+        // The documented policy: last occurrence in file order wins.
+        let text = "0 1 0.2\n1 2 0.9\n0 1 0.7\n";
+        let el = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(el.edges.len(), 3, "parsing must not silently drop lines");
+        let g = el.into_builder(0).unwrap().build().unwrap();
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.edge_prob(NodeId(0), NodeId(1)), Some(0.7));
+        assert_eq!(g.edge_prob(NodeId(1), NodeId(2)), Some(0.9));
     }
 
     #[test]

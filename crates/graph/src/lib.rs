@@ -27,6 +27,12 @@
 //!   validate the synthetic dataset profiles against the paper's Table II.
 //! * [`io`] — plain-text edge-list reading/writing so real SNAP-format data
 //!   can be substituted for the synthetic profiles when available.
+//! * [`binary`] — the versioned `.oscg` binary CSR format: graphs (and
+//!   optional workload attributes) serialize to a checksummed little-endian
+//!   file that loads back through a zero-copy memory map, skipping the O(E)
+//!   text parse entirely.
+//! * [`storage`] — the owned-or-mapped [`storage::Section`] abstraction the
+//!   CSR arrays are built on; algorithms see plain slices either way.
 //!
 //! ```
 //! use osn_graph::{GraphBuilder, NodeId};
@@ -41,6 +47,7 @@
 //! assert_eq!(ranked[1], (NodeId(1), 0.4));
 //! ```
 
+pub mod binary;
 pub mod builder;
 pub mod components;
 pub mod csr;
@@ -50,6 +57,7 @@ pub mod io;
 pub mod node_data;
 pub mod shortest_path;
 pub mod stats;
+pub mod storage;
 pub mod traversal;
 
 pub use builder::GraphBuilder;

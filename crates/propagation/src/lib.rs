@@ -24,7 +24,10 @@
 //!   statistics and as ground truth in tests.
 //! * [`world`] / [`reach`] — pre-sampled live-edge **worlds** (the paper's
 //!   "tosses a coin for each edge ... to generate a graph") and the
-//!   deterministic coupon-constrained reachability inside one world.
+//!   deterministic coupon-constrained reachability inside one world. World
+//!   construction only touches the graph's flat edge sections, so it runs
+//!   unchanged — and bit-identically — over graphs memory-mapped from
+//!   `.oscg` files (`osn_graph::binary`) as over in-memory builds.
 //! * [`spread`] — the analytic evaluator: exact expected benefit on forests
 //!   (all of the paper's worked examples), a documented independent-parent
 //!   approximation elsewhere; exposes the incremental quantities S3CA's

@@ -152,6 +152,36 @@ mod tests {
     }
 
     #[test]
+    fn mapped_graph_samples_identical_worlds() {
+        // World construction reads the graph only through its flat edge
+        // sections; a zero-copy memory-mapped CSR (`osn_graph::binary`)
+        // must therefore produce bit-identical worlds to the owned build
+        // it round-tripped from.
+        let g = graph();
+        let path =
+            std::env::temp_dir().join(format!("osn-world-mapped-{}.oscg", std::process::id()));
+        {
+            let file = std::fs::File::create(&path).unwrap();
+            osn_graph::binary::write_oscg(&g, None, file).unwrap();
+        }
+        let loaded = osn_graph::binary::load_oscg(&path).unwrap().graph;
+        if cfg!(all(
+            unix,
+            target_endian = "little",
+            target_pointer_width = "64"
+        )) {
+            assert!(loaded.is_mapped(), "expected the zero-copy load path");
+        }
+        let owned = WorldCache::sample(&g, 64, 11);
+        let mapped = WorldCache::sample(&loaded, 64, 11);
+        assert_eq!(owned.edge_count(), mapped.edge_count());
+        for w in 0..64 {
+            assert_eq!(owned.world(w), mapped.world(w), "world {w} diverged");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn pool_size_never_changes_the_cache() {
         let g = graph();
         let serial = WorldCache::sample_with_pool(&g, 64, 11, &ThreadPool::new(1));

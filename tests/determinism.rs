@@ -235,6 +235,95 @@ fn baseline_selections_are_pool_size_independent() {
     }
 }
 
+/// A graph loaded from the binary `.oscg` format (zero-copy mapped where
+/// the platform allows) must drive a fig6-style run to **byte-identical**
+/// results as the same graph loaded from a text edge list — same S3CA
+/// deployment, bit-identical Monte-Carlo statistics, identical formatted
+/// CSV cells — at pool sizes 1 and 2. This is the contract that lets the
+/// harness cache instances on disk and substitute real datasets without
+/// perturbing any experiment.
+#[test]
+fn binary_loaded_graph_byte_matches_text_loaded_run() {
+    let inst = DatasetProfile::Facebook
+        .generate(0.02, 13)
+        .expect("generation");
+
+    // Text pipeline: edge list bytes -> parse -> build.
+    let mut text = Vec::new();
+    osn_graph::io::write_edge_list(&inst.graph, &mut text).expect("text write");
+    let text_graph = osn_graph::io::read_edge_list(text.as_slice())
+        .expect("text parse")
+        .into_builder(inst.graph.node_count())
+        .expect("builder")
+        .build()
+        .expect("build");
+
+    // Binary pipeline: .oscg file -> load (mmap where available).
+    let path = std::env::temp_dir().join(format!(
+        "s3crm-determinism-binary-{}.oscg",
+        std::process::id()
+    ));
+    {
+        let file = std::fs::File::create(&path).expect("create temp file");
+        osn_graph::binary::write_oscg(&inst.graph, Some((&inst.data, inst.budget)), file)
+            .expect("binary write");
+    }
+    let loaded = osn_graph::binary::load_oscg(&path).expect("binary load");
+    let bin_graph = loaded.graph;
+    let workload = loaded.workload.expect("workload block");
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(text_graph, inst.graph, "text round trip changed the graph");
+    assert_eq!(bin_graph, inst.graph, "binary round trip changed the graph");
+    assert_eq!(workload.data, inst.data);
+    assert_eq!(workload.budget.to_bits(), inst.budget.to_bits());
+
+    // Fig6-style run on each source graph: S3CA at the instance budget,
+    // then a Monte-Carlo report over a shared world seed.
+    let run = |graph: &osn_graph::CsrGraph, pool: &ThreadPool| {
+        let result = s3ca(graph, &inst.data, inst.budget, &S3caConfig::default());
+        let cache = WorldCache::sample_with_pool(graph, 96, 23, pool);
+        let ev = MonteCarloEvaluator::with_pool(graph, &inst.data, &cache, pool);
+        let stats = ev.simulate(&result.deployment.seeds, &result.deployment.coupons);
+        (result.deployment, stats)
+    };
+
+    for threads in [1usize, 2] {
+        let pool = ThreadPool::new(threads);
+        let (dep_text, stats_text) = run(&text_graph, &pool);
+        let (dep_bin, stats_bin) = run(&bin_graph, &pool);
+        assert_eq!(
+            dep_text.seeds, dep_bin.seeds,
+            "{threads}-worker: seed sets diverged between text and binary"
+        );
+        assert_eq!(
+            dep_text.coupons, dep_bin.coupons,
+            "{threads}-worker: coupon allocations diverged"
+        );
+        assert_stats_bit_identical(
+            &stats_text,
+            &stats_bin,
+            &format!("{threads}-worker text vs binary"),
+        );
+        // The rendered CSV cells — what an experiment actually writes —
+        // must match byte for byte, not just numerically.
+        let csv = |stats: &SimulationStats| {
+            format!(
+                "{},{},{},{}",
+                stats.expected_benefit,
+                stats.mean_redeemed_sc_cost,
+                stats.mean_activated,
+                stats.mean_farthest_hop
+            )
+        };
+        assert_eq!(
+            csv(&stats_text),
+            csv(&stats_bin),
+            "{threads}-worker: CSV rows diverged"
+        );
+    }
+}
+
 /// Different seeds must actually change the generated instance — guards
 /// against a generator that silently ignores its seed, which would make
 /// the two tests above vacuous.
