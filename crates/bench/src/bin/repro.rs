@@ -304,6 +304,10 @@ fn main() {
                     &args.out_dir,
                     "extension_lt_vs_coupon_ic",
                 );
+                for cell in extensions::scenario_sweep(e) {
+                    let name = cell.name.clone();
+                    emit(cell.table, &args.out_dir, &name);
+                }
             }
             "ablation" => {
                 emit(

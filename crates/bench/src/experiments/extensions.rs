@@ -8,8 +8,12 @@
 //!   cannot express social coupons; this table quantifies how differently
 //!   the two models rate identical seed sets, which is why the substrate
 //!   matters.
+//! * **Scenario sweep** — the budget × strategy × weight-model
+//!   cross-product grid of [`crate::scenario::SweepGrid`], one CSV per
+//!   cell (the ROADMAP's "scenario sweeps" open item).
 
 use crate::effort::Effort;
+use crate::scenario::{run_sweep, SweepCell, SweepGrid};
 use crate::table::{num, Table};
 use osn_gen::DatasetProfile;
 use osn_graph::NodeId;
@@ -105,6 +109,13 @@ pub fn lt_vs_coupon_ic(profile: DatasetProfile, effort: &Effort) -> Table {
         }
     }
     table
+}
+
+/// The default scenario sweep at the effort's scale: 27 cells over
+/// budgets × strategies × weight models, each destined for its own CSV.
+pub fn scenario_sweep(effort: &Effort) -> Vec<SweepCell> {
+    let n = ((400.0 * effort.graph_scale).round() as usize).max(60);
+    run_sweep(n, &SweepGrid::extension_default(), effort)
 }
 
 #[cfg(test)]

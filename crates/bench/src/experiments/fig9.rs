@@ -34,7 +34,15 @@ pub fn vs_network_size(sizes: &[usize], binv: f64, effort: &Effort) -> Table {
             "Fig 9(a/b): S3CA scalability vs network size (Binv = {})",
             num(binv)
         ),
-        &["nodes", "edges", "time_ms", "explored_ratio"],
+        &[
+            "nodes",
+            "edges",
+            "time_ms",
+            "explored_ratio",
+            "eval_full_rebuilds",
+            "eval_incremental_updates",
+            "eval_lazy_rescores",
+        ],
     );
     for &n in sizes {
         let (graph, data) = synthetic_instance(n, effort.seed);
@@ -44,6 +52,9 @@ pub fn vs_network_size(sizes: &[usize], binv: f64, effort: &Effort) -> Table {
             graph.edge_count().to_string(),
             num(result.telemetry.total_micros() as f64 / 1e3),
             num(result.telemetry.explored_ratio),
+            result.telemetry.eval_full_rebuilds.to_string(),
+            result.telemetry.eval_incremental_updates.to_string(),
+            result.telemetry.eval_lazy_rescores.to_string(),
         ]);
     }
     table
@@ -54,7 +65,14 @@ pub fn vs_budget(n: usize, budgets: &[f64], effort: &Effort) -> Table {
     let (graph, data) = synthetic_instance(n, effort.seed);
     let mut table = Table::new(
         format!("Fig 9(c/d): S3CA scalability vs Binv ({n} nodes)"),
-        &["Binv", "time_ms", "explored_ratio"],
+        &[
+            "Binv",
+            "time_ms",
+            "explored_ratio",
+            "eval_full_rebuilds",
+            "eval_incremental_updates",
+            "eval_lazy_rescores",
+        ],
     );
     for &binv in budgets {
         let result = s3ca(&graph, &data, binv, &S3caConfig::default());
@@ -62,6 +80,9 @@ pub fn vs_budget(n: usize, budgets: &[f64], effort: &Effort) -> Table {
             num(binv),
             num(result.telemetry.total_micros() as f64 / 1e3),
             num(result.telemetry.explored_ratio),
+            result.telemetry.eval_full_rebuilds.to_string(),
+            result.telemetry.eval_incremental_updates.to_string(),
+            result.telemetry.eval_lazy_rescores.to_string(),
         ]);
     }
     table

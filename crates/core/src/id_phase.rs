@@ -15,12 +15,33 @@
 //! Every intermediate deployment is a candidate; the phase returns the one
 //! with the highest redemption rate (Alg. 1 line 24), which we track as a
 //! running argmax instead of materializing the full candidate list `D`.
+//!
+//! ## Lazy-greedy candidate ranking
+//!
+//! [`investment_deployment`] runs on the incremental
+//! [`SpreadEngine`](osn_propagation::SpreadEngine) with a CELF-style
+//! max-heap of candidate marginals: a candidate is re-scored **only when a
+//! committed move actually changed one of its inputs** (its activation
+//! probability, its coupon count, an eligible child's subtree gain, or the
+//! seed mask), detected with exact-bit granularity from the engine's
+//! refresh deltas. Unlike classical CELF — which tolerates stale upper
+//! bounds and so can pick differently when marginals *increase* — cached
+//! entries here are always exact, and ties break deterministically on the
+//! spread-order position, so the heap's argmax is provably the same
+//! candidate the exhaustive rescan of
+//! [`investment_deployment_reference`] selects. That reference
+//! implementation (the seed code path: full `SpreadState` re-evaluation
+//! per move, full candidate rescan per iteration) is kept verbatim as the
+//! equivalence oracle for tests and the `incremental_eval` bench.
 
 use crate::deployment::Deployment;
 use crate::objective::{self, ObjectiveValue};
 use crate::pivot::{PivotQueue, SeedPackage};
 use osn_graph::{CsrGraph, NodeData, NodeId};
 use osn_propagation::spread::SpreadState;
+use osn_propagation::{DeltaScratch, EngineCounters, RefreshDelta, SpreadEngine};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 
 /// Marks nodes whose neighborhoods the algorithm actually expanded — the
 /// numerator of Fig. 9's *explored ratio*.
@@ -63,6 +84,18 @@ impl ExploreTracker {
     }
 }
 
+/// One budget-milestone snapshot of the greedy trajectory, carrying the
+/// analytic objective computed when it was live — so the S3CA snapshot
+/// re-ranking never re-evaluates a deployment the engine already scored.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    /// The intermediate deployment.
+    pub deployment: Deployment,
+    /// Its analytic objective at snapshot time (bit-identical to
+    /// `objective::evaluate` of the deployment).
+    pub objective: ObjectiveValue,
+}
+
 /// Result of the ID phase.
 #[derive(Clone, Debug)]
 pub struct IdOutcome {
@@ -79,13 +112,261 @@ pub struct IdOutcome {
     /// rate; [`s3ca`](crate::s3ca::s3ca) re-ranks these snapshots the same
     /// way, which matters on cyclic graphs where the fast analytic
     /// evaluator systematically underestimates deep spreads.
-    pub snapshots: Vec<Deployment>,
+    pub snapshots: Vec<Snapshot>,
+    /// Spread-engine effort counters (zero for the reference path).
+    pub eval_counters: EngineCounters,
+    /// Lazy-heap candidate re-scores (the reference path counts its
+    /// exhaustive rescans here instead).
+    pub lazy_rescores: u64,
+}
+
+impl IdOutcome {
+    fn empty(n: usize) -> IdOutcome {
+        IdOutcome {
+            deployment: Deployment::empty(n),
+            objective: ObjectiveValue::default(),
+            iterations: 0,
+            snapshots: Vec::new(),
+            eval_counters: EngineCounters::default(),
+            lazy_rescores: 0,
+        }
+    }
 }
 
 /// Tolerance for budget comparisons (floating-point accumulation).
 const BUDGET_EPS: f64 = 1e-9;
 
-/// Run Investment Deployment under budget `binv`.
+/// A lazy-greedy heap entry: exact marginal-redemption key plus the
+/// spread-order position for deterministic tie-breaking (earliest wins,
+/// matching the reference scan's first-strictly-greater rule).
+#[derive(Clone, Copy, Debug)]
+struct HeapEntry {
+    mr: f64,
+    pos: u32,
+    node: NodeId,
+    version: u32,
+    db: f64,
+    dc: f64,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap on MR; on exact ties the earlier spread position wins.
+        self.mr
+            .partial_cmp(&other.mr)
+            .expect("marginal rates are finite")
+            .then(other.pos.cmp(&self.pos))
+    }
+}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The candidate index of the lazy-greedy loop: exact cached marginals per
+/// node, staleness versions that invalidate heap entries, and dirty-driven
+/// re-scoring.
+struct CandidateHeap {
+    /// Current staleness counter per node; heap entries with an older
+    /// version are skipped on pop.
+    version: Vec<u32>,
+    /// Cached exact `(ΔB, ΔCsc)` per node.
+    db: Vec<f64>,
+    dc: Vec<f64>,
+    /// Whether the cached marginal reflects the current engine state.
+    scored: Vec<bool>,
+    /// Position in the current spread order (tie-break key).
+    pos: Vec<u32>,
+    heap: BinaryHeap<HeapEntry>,
+    /// Dedup stamp for dirty collection.
+    stamp: Vec<u32>,
+    stamp_gen: u32,
+    dirty: Vec<NodeId>,
+    rescores: u64,
+}
+
+impl CandidateHeap {
+    fn new(n: usize) -> CandidateHeap {
+        CandidateHeap {
+            version: vec![0; n],
+            db: vec![0.0; n],
+            dc: vec![0.0; n],
+            scored: vec![false; n],
+            pos: vec![0; n],
+            heap: BinaryHeap::new(),
+            stamp: vec![0; n],
+            stamp_gen: 0,
+            dirty: Vec::new(),
+            rescores: 0,
+        }
+    }
+
+    fn rescore(&mut self, engine: &SpreadEngine<'_>, u: NodeId, scratch: &mut DeltaScratch) {
+        let (db, dc) = engine.coupon_add_delta(u, scratch);
+        self.db[u.index()] = db;
+        self.dc[u.index()] = dc;
+        self.scored[u.index()] = true;
+        self.rescores += 1;
+    }
+
+    fn push_if_positive(&mut self, u: NodeId) {
+        let db = self.db[u.index()];
+        if db <= 0.0 {
+            return;
+        }
+        let dc = self.dc[u.index()];
+        let mr = if dc > 0.0 { db / dc } else { f64::MAX };
+        self.heap.push(HeapEntry {
+            mr,
+            pos: self.pos[u.index()],
+            node: u,
+            version: self.version[u.index()],
+            db,
+            dc,
+        });
+    }
+
+    fn is_candidate(engine: &SpreadEngine<'_>, graph: &CsrGraph, u: NodeId) -> bool {
+        engine.active_prob()[u.index()] > 0.0
+            && engine.coupons()[u.index()] < graph.out_degree(u) as u32
+    }
+
+    /// Full re-index after a structural change: positions shift, membership
+    /// may change, but exact cached marginals of untouched candidates are
+    /// reused as-is.
+    fn rebuild_all(
+        &mut self,
+        engine: &SpreadEngine<'_>,
+        graph: &CsrGraph,
+        scratch: &mut DeltaScratch,
+    ) {
+        self.heap.clear();
+        for v in self.version.iter_mut() {
+            *v = v.wrapping_add(1);
+        }
+        for (p, &u) in engine.order().iter().enumerate() {
+            self.pos[u.index()] = p as u32;
+            if !Self::is_candidate(engine, graph, u) {
+                continue;
+            }
+            if !self.scored[u.index()] {
+                self.rescore(engine, u, scratch);
+            }
+            self.push_if_positive(u);
+        }
+    }
+
+    /// Fold a committed move's refresh delta into the index: only nodes
+    /// whose marginal inputs changed (bitwise) are invalidated and
+    /// re-scored.
+    fn apply(
+        &mut self,
+        engine: &SpreadEngine<'_>,
+        graph: &CsrGraph,
+        delta: &RefreshDelta,
+        moved: NodeId,
+        scratch: &mut DeltaScratch,
+    ) {
+        // Dirty = the moved node (its k changed), every node whose
+        // activation probability changed, and every in-neighbor of a node
+        // whose subtree gain changed (their ΔB terms read that gain).
+        self.stamp_gen += 1;
+        self.dirty.clear();
+        let mark = |lists: &mut Self, u: NodeId| {
+            if lists.stamp[u.index()] != lists.stamp_gen {
+                lists.stamp[u.index()] = lists.stamp_gen;
+                lists.dirty.push(u);
+            }
+        };
+        mark(self, moved);
+        for &u in &delta.probs_changed {
+            mark(self, u);
+        }
+        for &u in &delta.eligibility_changed {
+            mark(self, u);
+        }
+        for &g in &delta.gains_changed {
+            for &src in graph.in_sources(g) {
+                mark(self, src);
+            }
+        }
+        let dirty = std::mem::take(&mut self.dirty);
+        for &u in &dirty {
+            self.scored[u.index()] = false;
+        }
+        if delta.structural {
+            self.dirty = dirty;
+            self.rebuild_all(engine, graph, scratch);
+            self.dirty.clear();
+            return;
+        }
+        for &u in &dirty {
+            self.version[u.index()] = self.version[u.index()].wrapping_add(1);
+            if Self::is_candidate(engine, graph, u) {
+                self.rescore(engine, u, scratch);
+                self.push_if_positive(u);
+            }
+        }
+        self.dirty = dirty;
+    }
+
+    /// The exact argmax the reference rescan would select: best feasible
+    /// marginal under the current spent budget. Entries that no longer fit
+    /// are discarded outright, which is safe because of a two-part
+    /// invariant: (a) across *non-structural* stretches (broaden moves
+    /// only) the total cost is non-decreasing — a broaden's ΔCsc is
+    /// `Σ dq·c_sc ≥ 0` since q is monotone in k and `NodeData` rejects
+    /// negative costs — while a clean candidate's ΔCsc is fixed, so
+    /// infeasible stays infeasible; and (b) every move that *can* lower
+    /// the total cost (a seed package may remove a coupon-priced child
+    /// from its in-neighbors' Table-I terms) is structural, and
+    /// [`rebuild_all`](Self::rebuild_all) re-pushes every candidate from
+    /// its exact cache — discarded entries included — before the next
+    /// selection.
+    fn pop_best(&mut self, cost_now: f64, binv: f64) -> Option<(NodeId, f64, f64, f64)> {
+        while let Some(e) = self.heap.peek() {
+            if e.version != self.version[e.node.index()] {
+                self.heap.pop();
+                continue;
+            }
+            if cost_now + e.dc > binv + BUDGET_EPS {
+                self.heap.pop();
+                continue;
+            }
+            return Some((e.node, e.db, e.dc, e.mr));
+        }
+        None
+    }
+}
+
+/// Mark every node the exhaustive scan would have expanded this iteration
+/// (candidate-set parity with the reference implementation keeps Fig. 9's
+/// explored ratio byte-identical).
+fn mark_explored(engine: &SpreadEngine<'_>, graph: &CsrGraph, explored: &mut ExploreTracker) {
+    for &u in engine.order() {
+        if engine.active_prob()[u.index()] <= 0.0 {
+            continue;
+        }
+        if engine.coupons()[u.index()] >= graph.out_degree(u) as u32 {
+            continue;
+        }
+        explored.mark(u);
+    }
+}
+
+/// Run Investment Deployment under budget `binv` on the incremental spread
+/// engine with lazy-greedy candidate ranking. Decision-for-decision (and
+/// bit-for-bit in every reported value) identical to
+/// [`investment_deployment_reference`]; `tests/determinism.rs` pins the
+/// equivalence.
 pub fn investment_deployment(
     graph: &CsrGraph,
     data: &NodeData,
@@ -99,52 +380,32 @@ pub fn investment_deployment(
 
     // Initial influence source: the best feasible package.
     let Some(first) = queue.pop() else {
-        return IdOutcome {
-            deployment: dep,
-            objective: ObjectiveValue::default(),
-            iterations: 0,
-            snapshots: Vec::new(),
-        };
+        return IdOutcome::empty(n);
     };
     apply_package(graph, &mut dep, &first);
     explored.mark(first.node);
 
     let mut pivot = next_usable_pivot(&mut queue, &dep);
-    let mut state = SpreadState::evaluate(graph, data, &dep.seeds, &dep.coupons);
-    let mut value = objective::value_from_state(graph, data, &dep, &state);
+    let mut engine = SpreadEngine::new(graph, data, &dep.seeds, &dep.coupons);
+    let mut value = objective::value_from_engine(&engine);
+    let mut scratch = DeltaScratch::default();
+    let mut cache = CandidateHeap::new(n);
+    cache.rebuild_all(&engine, graph, &mut scratch);
 
     let mut best_dep = dep.clone();
     let mut best_value = value;
     let mut iterations = 1usize;
-    let mut snapshots: Vec<Deployment> = vec![dep.clone()];
+    let mut snapshots: Vec<Snapshot> = vec![Snapshot {
+        deployment: dep.clone(),
+        objective: value,
+    }];
     let milestone = (binv / 12.0).max(f64::MIN_POSITIVE);
     let mut next_milestone = value.total_cost() + milestone;
 
     while iterations < max_iterations {
         // Best coupon move (strategies 1–2) over the current spread.
-        let mut best_mr = 0.0f64;
-        let mut best_node: Option<(NodeId, f64, f64)> = None;
-        for &u in &state.order {
-            if state.active_prob[u.index()] <= 0.0 {
-                continue;
-            }
-            if dep.coupons[u.index()] >= graph.out_degree(u) as u32 {
-                continue;
-            }
-            explored.mark(u);
-            let (db, dc) = state.coupon_delta(graph, data, u, 1);
-            if db <= 0.0 {
-                continue;
-            }
-            if value.total_cost() + dc > binv + BUDGET_EPS {
-                continue;
-            }
-            let mr = if dc > 0.0 { db / dc } else { f64::MAX };
-            if mr > best_mr {
-                best_mr = mr;
-                best_node = Some((u, db, dc));
-            }
-        }
+        mark_explored(&engine, graph, explored);
+        let best_node = cache.pop_best(value.total_cost(), binv);
 
         // Strategy 3: the pivot source's standalone rate.
         let pivot_feasible = pivot
@@ -167,6 +428,145 @@ pub fn investment_deployment(
             (true, false) => true,
             (false, true) => false,
             // Alg. 1 line 11: the coupon must strictly beat the pivot.
+            (true, true) => best_node.expect("guarded").3 > pivot_rate,
+        };
+
+        if take_coupon {
+            let (u, ..) = best_node.expect("guarded by take_coupon");
+            dep.add_coupons(graph, u, 1);
+            let (_, delta) = engine.add_coupons(u, 1);
+            cache.apply(&engine, graph, &delta, u, &mut scratch);
+        } else {
+            let pkg = pivot.take().expect("guarded by pivot_feasible");
+            apply_package(graph, &mut dep, &pkg);
+            explored.mark(pkg.node);
+            pivot = next_usable_pivot(&mut queue, &dep);
+            let delta = engine.add_seed_package(pkg.node, pkg.coupons);
+            cache.apply(&engine, graph, &delta, pkg.node, &mut scratch);
+        }
+        iterations += 1;
+
+        value = objective::value_from_engine(&engine);
+        // Ties favor the later (larger) deployment, so equal-rate pivot
+        // additions keep extending the spread instead of freezing D* at the
+        // first snapshot.
+        if value.within_budget(binv) && value.rate >= best_value.rate * (1.0 - 1e-9) {
+            best_value = value;
+            best_dep = dep.clone();
+        }
+        if value.within_budget(binv) && value.total_cost() >= next_milestone {
+            snapshots.push(Snapshot {
+                deployment: dep.clone(),
+                objective: value,
+            });
+            next_milestone = value.total_cost() + milestone;
+        }
+    }
+    // The final deployment and the analytic argmax are always candidates.
+    if snapshots.last().map(|s| &s.deployment) != Some(&dep) && value.within_budget(binv) {
+        snapshots.push(Snapshot {
+            deployment: dep.clone(),
+            objective: value,
+        });
+    }
+    if snapshots.last().map(|s| &s.deployment) != Some(&best_dep) {
+        snapshots.push(Snapshot {
+            deployment: best_dep.clone(),
+            objective: best_value,
+        });
+    }
+
+    IdOutcome {
+        deployment: best_dep,
+        objective: best_value,
+        iterations,
+        snapshots,
+        eval_counters: engine.counters(),
+        lazy_rescores: cache.rescores,
+    }
+}
+
+/// The seed implementation: full [`SpreadState`] re-evaluation after every
+/// move and an exhaustive candidate rescan per iteration. Kept verbatim as
+/// the equivalence oracle for [`investment_deployment`] (pinned by
+/// `tests/determinism.rs`) and as the from-scratch side of the
+/// `incremental_eval` bench.
+pub fn investment_deployment_reference(
+    graph: &CsrGraph,
+    data: &NodeData,
+    binv: f64,
+    explored: &mut ExploreTracker,
+    max_iterations: usize,
+) -> IdOutcome {
+    let n = graph.node_count();
+    let mut queue = PivotQueue::build(graph, data, binv);
+    let mut dep = Deployment::empty(n);
+
+    let Some(first) = queue.pop() else {
+        return IdOutcome::empty(n);
+    };
+    apply_package(graph, &mut dep, &first);
+    explored.mark(first.node);
+
+    let mut pivot = next_usable_pivot(&mut queue, &dep);
+    let mut state = SpreadState::evaluate(graph, data, &dep.seeds, &dep.coupons);
+    let mut value = objective::value_from_state(graph, data, &dep, &state);
+    let mut rescans = 0u64;
+
+    let mut best_dep = dep.clone();
+    let mut best_value = value;
+    let mut iterations = 1usize;
+    let mut snapshots: Vec<Snapshot> = vec![Snapshot {
+        deployment: dep.clone(),
+        objective: value,
+    }];
+    let milestone = (binv / 12.0).max(f64::MIN_POSITIVE);
+    let mut next_milestone = value.total_cost() + milestone;
+
+    while iterations < max_iterations {
+        // Best coupon move (strategies 1–2) over the current spread.
+        let mut best_mr = 0.0f64;
+        let mut best_node: Option<(NodeId, f64, f64)> = None;
+        for &u in &state.order {
+            if state.active_prob[u.index()] <= 0.0 {
+                continue;
+            }
+            if dep.coupons[u.index()] >= graph.out_degree(u) as u32 {
+                continue;
+            }
+            explored.mark(u);
+            let (db, dc) = state.coupon_delta(graph, data, u, 1);
+            rescans += 1;
+            if db <= 0.0 {
+                continue;
+            }
+            if value.total_cost() + dc > binv + BUDGET_EPS {
+                continue;
+            }
+            let mr = if dc > 0.0 { db / dc } else { f64::MAX };
+            if mr > best_mr {
+                best_mr = mr;
+                best_node = Some((u, db, dc));
+            }
+        }
+
+        let pivot_feasible = pivot
+            .as_ref()
+            .is_some_and(|p| value.total_cost() + p.cost <= binv + BUDGET_EPS);
+        let pivot_rate = pivot.as_ref().map_or(0.0, |p| p.rate);
+
+        let take_coupon = match (best_node.is_some(), pivot_feasible) {
+            (false, false) => {
+                if pivot.is_some() {
+                    pivot = next_usable_pivot(&mut queue, &dep);
+                    if pivot.is_some() {
+                        continue;
+                    }
+                }
+                break;
+            }
+            (true, false) => true,
+            (false, true) => false,
             (true, true) => best_mr > pivot_rate,
         };
 
@@ -183,24 +583,29 @@ pub fn investment_deployment(
 
         state = SpreadState::evaluate(graph, data, &dep.seeds, &dep.coupons);
         value = objective::value_from_state(graph, data, &dep, &state);
-        // Ties favor the later (larger) deployment, so equal-rate pivot
-        // additions keep extending the spread instead of freezing D* at the
-        // first snapshot.
         if value.within_budget(binv) && value.rate >= best_value.rate * (1.0 - 1e-9) {
             best_value = value;
             best_dep = dep.clone();
         }
         if value.within_budget(binv) && value.total_cost() >= next_milestone {
-            snapshots.push(dep.clone());
+            snapshots.push(Snapshot {
+                deployment: dep.clone(),
+                objective: value,
+            });
             next_milestone = value.total_cost() + milestone;
         }
     }
-    // The final deployment and the analytic argmax are always candidates.
-    if snapshots.last() != Some(&dep) && value.within_budget(binv) {
-        snapshots.push(dep.clone());
+    if snapshots.last().map(|s| &s.deployment) != Some(&dep) && value.within_budget(binv) {
+        snapshots.push(Snapshot {
+            deployment: dep.clone(),
+            objective: value,
+        });
     }
-    if snapshots.last() != Some(&best_dep) {
-        snapshots.push(best_dep.clone());
+    if snapshots.last().map(|s| &s.deployment) != Some(&best_dep) {
+        snapshots.push(Snapshot {
+            deployment: best_dep.clone(),
+            objective: best_value,
+        });
     }
 
     IdOutcome {
@@ -208,6 +613,8 @@ pub fn investment_deployment(
         objective: best_value,
         iterations,
         snapshots,
+        eval_counters: EngineCounters::default(),
+        lazy_rescores: rescans,
     }
 }
 
@@ -344,5 +751,84 @@ mod tests {
             "explored {} of {n} despite budget 3",
             tracker.count()
         );
+    }
+
+    /// The lazy-greedy engine path must match the reference (exhaustive
+    /// rescan + from-scratch evaluation) decision-for-decision and
+    /// bit-for-bit — while doing strictly fewer marginal evaluations.
+    #[test]
+    fn engine_path_matches_reference_bitwise() {
+        let (g, d) = example1();
+        for binv in [0.5, 1.0, 2.0, 5.0, 50.0] {
+            let mut ta = ExploreTracker::new(7);
+            let mut tb = ExploreTracker::new(7);
+            let a = investment_deployment(&g, &d, binv, &mut ta, 10_000);
+            let b = investment_deployment_reference(&g, &d, binv, &mut tb, 10_000);
+            assert_eq!(a.deployment, b.deployment, "deployment at Binv {binv}");
+            assert_eq!(
+                a.objective.rate.to_bits(),
+                b.objective.rate.to_bits(),
+                "rate at Binv {binv}"
+            );
+            assert_eq!(a.iterations, b.iterations, "iterations at Binv {binv}");
+            assert_eq!(ta.count(), tb.count(), "explored set at Binv {binv}");
+            assert_eq!(a.snapshots.len(), b.snapshots.len());
+            for (sa, sb) in a.snapshots.iter().zip(b.snapshots.iter()) {
+                assert_eq!(sa.deployment, sb.deployment);
+                assert_eq!(sa.objective.rate.to_bits(), sb.objective.rate.to_bits());
+                assert_eq!(
+                    sa.objective.benefit.to_bits(),
+                    sb.objective.benefit.to_bits()
+                );
+            }
+            assert!(
+                a.lazy_rescores <= b.lazy_rescores,
+                "lazy path re-scored more ({} > {}) at Binv {binv}",
+                a.lazy_rescores,
+                b.lazy_rescores
+            );
+        }
+    }
+
+    /// As above, on an instance where pivot moves actually fire mid-run
+    /// (two disconnected stars force a second seed package): the
+    /// structural `rebuild_all` must re-admit previously budget-discarded
+    /// heap entries exactly like the reference rescan does.
+    #[test]
+    fn engine_matches_reference_across_pivot_moves() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 0.9).unwrap();
+        b.add_edge(2, 3, 0.9).unwrap();
+        let g = b.build().unwrap();
+        let d = NodeData::new(vec![2.0; 4], vec![0.5, 100.0, 0.5, 100.0], vec![1.0; 4]).unwrap();
+        for binv in [1.0, 2.0, 5.0, 10.0] {
+            let mut ta = ExploreTracker::new(4);
+            let mut tb = ExploreTracker::new(4);
+            let a = investment_deployment(&g, &d, binv, &mut ta, 10_000);
+            let b = investment_deployment_reference(&g, &d, binv, &mut tb, 10_000);
+            assert_eq!(a.deployment, b.deployment, "deployment at Binv {binv}");
+            assert_eq!(
+                a.objective.rate.to_bits(),
+                b.objective.rate.to_bits(),
+                "rate at Binv {binv}"
+            );
+            assert_eq!(a.iterations, b.iterations, "iterations at Binv {binv}");
+            assert_eq!(ta.count(), tb.count(), "explored set at Binv {binv}");
+            assert_eq!(a.snapshots.len(), b.snapshots.len());
+            for (sa, sb) in a.snapshots.iter().zip(b.snapshots.iter()) {
+                assert_eq!(sa.deployment, sb.deployment);
+                assert_eq!(sa.objective.rate.to_bits(), sb.objective.rate.to_bits());
+                assert_eq!(
+                    sa.objective.benefit.to_bits(),
+                    sb.objective.benefit.to_bits()
+                );
+            }
+            assert!(
+                a.lazy_rescores <= b.lazy_rescores,
+                "lazy path re-scored more ({} > {}) at Binv {binv}",
+                a.lazy_rescores,
+                b.lazy_rescores
+            );
+        }
     }
 }

@@ -44,6 +44,23 @@ pub fn evaluate(graph: &CsrGraph, data: &NodeData, dep: &Deployment) -> Objectiv
     value_from_state(graph, data, dep, &state)
 }
 
+/// As [`evaluate`], reading every component off an incrementally maintained
+/// [`SpreadEngine`](osn_propagation::SpreadEngine). Bit-identical to
+/// [`evaluate`] of the engine's deployment: the engine maintains benefit and
+/// SC cost under the same contract, and the seed cost is the same running
+/// sum.
+pub fn value_from_engine(engine: &osn_propagation::SpreadEngine<'_>) -> ObjectiveValue {
+    let benefit = engine.expected_benefit();
+    let seed = engine.seed_cost();
+    let sc = engine.sc_cost();
+    ObjectiveValue {
+        benefit,
+        seed_cost: seed,
+        sc_cost: sc,
+        rate: redemption_rate(benefit, seed + sc),
+    }
+}
+
 /// As [`evaluate`], reusing an already-computed spread state.
 pub fn value_from_state(
     graph: &CsrGraph,

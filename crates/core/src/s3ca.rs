@@ -74,6 +74,17 @@ pub struct Telemetry {
     pub scm_paths_created: usize,
     /// Coupons moved by committed maneuvers.
     pub scm_coupons_moved: u64,
+    /// Complete from-scratch spread-engine builds across all phases.
+    pub eval_full_rebuilds: u64,
+    /// O(deg) incremental holder-DP extensions (the broaden fast path).
+    pub eval_incremental_updates: u64,
+    /// Per-holder DP rebuilds (new holders, seed-eligibility changes,
+    /// coupon retrievals).
+    pub eval_holder_rebuilds: u64,
+    /// Lazy-greedy heap candidate re-scores in the ID phase (the
+    /// exhaustive-rescan reference would pay one per candidate per
+    /// iteration).
+    pub eval_lazy_rescores: u64,
 }
 
 impl Telemetry {
@@ -104,6 +115,8 @@ pub fn s3ca(graph: &CsrGraph, data: &NodeData, binv: f64, config: &S3caConfig) -
     let id = investment_deployment(graph, data, binv, &mut explored, config.max_id_iterations);
     telemetry.id_micros = t0.elapsed().as_micros() as u64;
     telemetry.id_iterations = id.iterations;
+    let mut eval = id.eval_counters;
+    telemetry.eval_lazy_rescores = id.lazy_rescores;
 
     let mut deployment = id.deployment;
     let mut value = id.objective;
@@ -114,7 +127,9 @@ pub fn s3ca(graph: &CsrGraph, data: &NodeData, binv: f64, config: &S3caConfig) -
     // spreads on cyclic graphs; the MC re-ranking corrects the final choice
     // at negligible cost: all feasible snapshots go to the evaluator as ONE
     // batch, so a single pass over the world cache scores the whole
-    // candidate list instead of per-snapshot serial evaluations.
+    // candidate list instead of per-snapshot serial evaluations — and each
+    // snapshot carries the analytic objective the incremental engine
+    // computed when it was live, so nothing is re-evaluated here.
     if config.snapshot_worlds > 0 && id.snapshots.len() > 1 {
         let t_sel = Instant::now();
         let cache = osn_propagation::world::WorldCache::sample(
@@ -127,8 +142,9 @@ pub fn s3ca(graph: &CsrGraph, data: &NodeData, binv: f64, config: &S3caConfig) -
             .snapshots
             .iter()
             .filter_map(|snap| {
-                let analytic = objective::evaluate(graph, data, snap);
-                analytic.within_budget(binv).then_some((snap, analytic))
+                snap.objective
+                    .within_budget(binv)
+                    .then_some((&snap.deployment, snap.objective))
             })
             .collect();
         let batch: Vec<DeploymentRef<'_>> = feasible
@@ -188,12 +204,16 @@ pub fn s3ca(graph: &CsrGraph, data: &NodeData, binv: f64, config: &S3caConfig) -
             telemetry.scm_micros = t2.elapsed().as_micros() as u64;
             telemetry.scm_paths_created = stats.paths_created;
             telemetry.scm_coupons_moved = stats.coupons_moved;
+            eval = eval.merged(&stats.eval);
             value = after;
         }
     }
 
     telemetry.explored_nodes = explored.count();
     telemetry.explored_ratio = explored.ratio();
+    telemetry.eval_full_rebuilds = eval.full_rebuilds;
+    telemetry.eval_incremental_updates = eval.incremental_updates;
+    telemetry.eval_holder_rebuilds = eval.holder_rebuilds;
 
     // The objective always reflects the returned deployment.
     debug_assert!({

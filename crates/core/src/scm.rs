@@ -25,7 +25,7 @@ use crate::deployment::Deployment;
 use crate::gpi::GpForest;
 use crate::objective::{self, ObjectiveValue};
 use osn_graph::{CsrGraph, NodeData, NodeId};
-use osn_propagation::spread::SpreadState;
+use osn_propagation::{DeltaScratch, EngineCounters, SpreadEngine};
 
 /// Summary of the maneuvering phase.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -37,6 +37,10 @@ pub struct ScmStats {
     pub paths_created: usize,
     /// Total coupons moved by committed maneuvers.
     pub coupons_moved: u64,
+    /// Spread-engine effort spent planning and committing maneuvers
+    /// (tentative plans included, the initial engine build excluded — a
+    /// no-op SCM phase reports zeros).
+    pub eval: EngineCounters,
 }
 
 /// A scored guaranteed-path candidate.
@@ -57,10 +61,14 @@ pub fn sc_maneuver(
     max_paths: usize,
 ) -> (ObjectiveValue, ScmStats) {
     let mut stats = ScmStats::default();
-    let mut current = objective::evaluate(graph, data, dep);
-    let mut state = SpreadState::evaluate(graph, data, &dep.seeds, &dep.coupons);
+    // The engine tracks the live deployment; tentative plans run on clones
+    // that reuse every cached holder DP, so no maneuver ever re-evaluates
+    // the spread from scratch.
+    let mut engine = SpreadEngine::new(graph, data, &dep.seeds, &dep.coupons);
+    let mut current = objective::value_from_engine(&engine);
+    let mut scratch = DeltaScratch::default();
 
-    let mut candidates = collect_candidates(graph, data, dep, forests, &state, &current);
+    let mut candidates = collect_candidates(dep, forests, &engine, &current);
     // Descending amelioration index (Alg. 1 line 26).
     candidates.sort_by(|a, b| {
         b.amelioration
@@ -77,15 +85,21 @@ pub fn sc_maneuver(
             continue;
         }
         let beta = cand.amelioration;
-        if let Some((tentative, moved)) =
-            plan_maneuver(graph, data, dep, forest, cand.visit_index, beta)
-        {
-            let value = objective::evaluate(graph, data, &tentative);
+        if let Some((tent_engine, tentative, moved)) = plan_maneuver(
+            graph,
+            dep,
+            forest,
+            cand.visit_index,
+            beta,
+            &engine,
+            &mut scratch,
+            &mut stats.eval,
+        ) {
+            let value = objective::value_from_engine(&tent_engine);
             if value.rate > current.rate * (1.0 + 1e-12) && value.within_budget(binv) {
                 *dep = tentative;
+                engine = tent_engine;
                 current = value;
-                state = SpreadState::evaluate(graph, data, &dep.seeds, &dep.coupons);
-                let _ = &state;
                 stats.paths_created += 1;
                 stats.coupons_moved += moved;
             }
@@ -96,11 +110,9 @@ pub fn sc_maneuver(
 
 /// Filter GPs by the Alg. 1 line-28 preconditions and score their AIs.
 fn collect_candidates(
-    _graph: &CsrGraph,
-    _data: &NodeData,
     dep: &Deployment,
     forests: &[GpForest],
-    state: &SpreadState,
+    state: &SpreadEngine<'_>,
     current: &ObjectiveValue,
 ) -> Vec<Candidate> {
     let mut out = Vec::new();
@@ -156,26 +168,30 @@ fn parent_unfunded(forest: &GpForest, visit_index: usize, dep: &Deployment) -> b
 fn nearest_activated_ascendant(
     forest: &GpForest,
     visit_index: usize,
-    state: &SpreadState,
+    state: &SpreadEngine<'_>,
 ) -> Option<usize> {
     forest.ascendants(visit_index).find(|&i| {
         let node = forest.visits[i].node;
-        state.active_prob[node.index()] > 0.0 || state.is_seed(node)
+        state.active_prob()[node.index()] > 0.0 || state.is_seed(node)
     })
 }
 
 /// Try to fund the GP at `visit_index` by retrieving coupons from minimum-DI
-/// donors (Alg. 3). Returns the funded tentative deployment and the number
-/// of coupons moved, or `None` when the deficit cannot be sourced under the
-/// `Id < β` gate.
-fn plan_maneuver(
+/// donors (Alg. 3). Returns the funded tentative deployment (with its
+/// engine, kept in lockstep) and the number of coupons moved, or `None`
+/// when the deficit cannot be sourced under the `Id < β` gate. Engine
+/// effort — whether or not the plan survives — accumulates into `eval`.
+#[allow(clippy::too_many_arguments)]
+fn plan_maneuver<'a>(
     graph: &CsrGraph,
-    data: &NodeData,
     dep: &Deployment,
     forest: &GpForest,
     visit_index: usize,
     beta: f64,
-) -> Option<(Deployment, u64)> {
+    base_engine: &SpreadEngine<'a>,
+    scratch: &mut DeltaScratch,
+    eval: &mut EngineCounters,
+) -> Option<(SpreadEngine<'a>, Deployment, u64)> {
     // Receiver targets: the GP's K̂ allocation.
     let allocation = forest.allocation(visit_index);
     let mut target = vec![0u32; dep.len()];
@@ -198,49 +214,62 @@ fn plan_maneuver(
     }
 
     let mut tentative = dep.clone();
+    let mut engine = base_engine.clone();
+    let counters_at_clone = engine.counters();
     let mut moved = 0u64;
     let mut recv_idx = 0usize;
-    while moved < deficit_total {
+    let outcome = loop {
+        if moved >= deficit_total {
+            break Some(moved);
+        }
         // Advance to the next receiver still below target.
         while recv_idx < receivers.len()
             && tentative.coupons[receivers[recv_idx].index()] >= target[receivers[recv_idx].index()]
         {
             recv_idx += 1;
         }
-        let receiver = *receivers.get(recv_idx)?;
+        let Some(&receiver) = receivers.get(recv_idx) else {
+            break None;
+        };
 
         // Pick the donor with minimum deterioration index under the current
         // tentative allocation.
-        let donor = best_donor(graph, data, &tentative, &target, beta)?;
+        let Some(donor) = best_donor(&engine, &tentative, &target, beta, scratch) else {
+            break None;
+        };
         tentative.remove_coupons(donor, 1);
+        engine.remove_coupons(donor, 1);
         let added = tentative.add_coupons(graph, receiver, 1);
+        engine.add_coupons(receiver, 1);
         if added == 0 {
-            return None; // receiver saturated by out-degree; path infeasible
+            break None; // receiver saturated by out-degree; path infeasible
         }
         moved += 1;
-    }
-    Some((tentative, moved))
+    };
+    *eval = eval.merged(&engine.counters().since(&counters_at_clone));
+    outcome.map(|moved| (engine, tentative, moved))
 }
 
 /// Donor with minimal DI among nodes holding spare coupons (allocation above
 /// their GP target), subject to `Id < β`. DIs are first-order removal
-/// deltas against the tentative deployment's spread state (exact on trees,
-/// and orders of magnitude cheaper than re-evaluating per donor).
+/// deltas against the tentative deployment's spread state — served by the
+/// lockstep engine from its cached holder DPs instead of a from-scratch
+/// re-evaluation per donor pick.
 fn best_donor(
-    graph: &CsrGraph,
-    data: &NodeData,
+    engine: &SpreadEngine<'_>,
     tentative: &Deployment,
     target: &[u32],
     beta: f64,
+    scratch: &mut DeltaScratch,
 ) -> Option<NodeId> {
-    let base = SpreadState::evaluate(graph, data, &tentative.seeds, &tentative.coupons);
+    debug_assert_eq!(engine.coupons(), &tentative.coupons[..]);
     let mut best: Option<(f64, NodeId)> = None;
     for (i, (&k, &needed)) in tentative.coupons.iter().zip(target).enumerate() {
         if k == 0 || k <= needed {
             continue; // no spare coupons beyond the GP's own needs
         }
         let node = NodeId::from_index(i);
-        let (db, dc) = base.coupon_removal_delta(graph, data, node);
+        let (db, dc) = engine.coupon_removal_delta(node, scratch);
         let benefit_loss = -db;
         let cost_saved = -dc;
         let di = if cost_saved > 0.0 {

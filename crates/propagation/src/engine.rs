@@ -1,0 +1,757 @@
+//! The incremental spread engine: a delta-maintained [`SpreadState`].
+//!
+//! [`SpreadState::evaluate`](crate::spread::SpreadState::evaluate) rebuilds
+//! everything — BFS levels, eligible-child collection, the O(deg·k) rank DP
+//! per holder, forward/backward passes — from scratch for every candidate
+//! move, which dominates S3CA's greedy inner loop (the ROADMAP's "Faster
+//! rank DP" bottleneck). [`SpreadEngine`] instead *owns* the per-holder
+//! distributions `(holder, eligible children, rank-DP cache, q)` as a
+//! maintained index:
+//!
+//! * **Broaden** (one more coupon to a current holder) extends that
+//!   holder's [`RankDp`] in O(deg) — the saturating coupon-consumption
+//!   distribution is rolled forward one row instead of recomputed — and
+//!   re-runs only the flat propagation passes.
+//! * **Deepen / new seed / coupon retrieval** re-derive the spread
+//!   structure (BFS order), but every untouched holder's DP is reused;
+//!   only holders whose eligibility actually changed (in-neighbors of a
+//!   new seed, the retrieval donor) rebuild theirs.
+//! * Marginal probes ([`coupon_add_delta`](SpreadEngine::coupon_add_delta))
+//!   answer "what if `u` got one more coupon" in O(deg) from the cached
+//!   availability sums, replacing two O(deg·k) DP sweeps per candidate.
+//!
+//! ## The bit-identity contract
+//!
+//! The engine is an optimization, not a semantic change: after **any**
+//! sequence of moves, every field (activation probabilities, subtree
+//! gains, expected benefit, SC cost) is **bit-identical** to a from-scratch
+//! [`SpreadState::evaluate`] of the same deployment — the incremental DP
+//! extension reproduces the exact floating-point sequence of the full DP
+//! (see [`RankDp`]), and the propagation passes are the very same
+//! `pub(crate)` functions `SpreadState` runs. [`rebuild`](SpreadEngine::rebuild)
+//! is the escape hatch that recomputes everything from scratch; proptests
+//! in `crates/propagation/tests/proptests.rs` pin that it never changes a
+//! bit. This is what lets the greedy phases switch to the engine while
+//! every pinned paper CSV stays byte-identical.
+
+use crate::cost::seed_cost;
+use crate::rank::{redemption_probs_into, RankDp};
+use crate::spread::{
+    accumulate_gains, benefit_sum, collect_eligible, propagate_activation, spread_levels, DistRef,
+    SpreadState,
+};
+use osn_graph::{CsrGraph, NodeData, NodeId};
+
+/// Evaluation-effort counters (surfaced through S3CA's `Telemetry` and the
+/// Fig. 9 experiment CSV).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineCounters {
+    /// Complete from-scratch builds (initial construction and
+    /// [`SpreadEngine::rebuild`] calls).
+    pub full_rebuilds: u64,
+    /// O(deg) holder-DP extensions (the broaden fast path).
+    pub incremental_updates: u64,
+    /// Spread-structure re-derivations (BFS + passes) that reused every
+    /// cached holder DP.
+    pub structural_refreshes: u64,
+    /// Per-holder from-scratch DP rebuilds (new holders, eligibility
+    /// changes from seed additions, coupon retrievals).
+    pub holder_rebuilds: u64,
+}
+
+impl EngineCounters {
+    /// Counter-wise difference (`self - earlier`), for phase attribution.
+    pub fn since(&self, earlier: &EngineCounters) -> EngineCounters {
+        EngineCounters {
+            full_rebuilds: self.full_rebuilds - earlier.full_rebuilds,
+            incremental_updates: self.incremental_updates - earlier.incremental_updates,
+            structural_refreshes: self.structural_refreshes - earlier.structural_refreshes,
+            holder_rebuilds: self.holder_rebuilds - earlier.holder_rebuilds,
+        }
+    }
+
+    /// Counter-wise sum, for cross-phase totals.
+    pub fn merged(&self, other: &EngineCounters) -> EngineCounters {
+        EngineCounters {
+            full_rebuilds: self.full_rebuilds + other.full_rebuilds,
+            incremental_updates: self.incremental_updates + other.incremental_updates,
+            structural_refreshes: self.structural_refreshes + other.structural_refreshes,
+            holder_rebuilds: self.holder_rebuilds + other.holder_rebuilds,
+        }
+    }
+}
+
+/// What a committed move changed, reported with exact-bit granularity so
+/// callers (the ID phase's lazy-greedy heap) re-score only stale
+/// candidates.
+#[derive(Clone, Debug, Default)]
+pub struct RefreshDelta {
+    /// The spread structure (BFS order / membership) was re-derived;
+    /// positional caches over the order must be rebuilt.
+    pub structural: bool,
+    /// Nodes whose activation probability changed (bitwise).
+    pub probs_changed: Vec<NodeId>,
+    /// Nodes whose subtree gain changed (bitwise).
+    pub gains_changed: Vec<NodeId>,
+    /// Nodes whose *eligible child set* changed (in-neighbors of a newly
+    /// activated seed): their marginals are stale even if their own
+    /// probability and every gain they read are untouched.
+    pub eligibility_changed: Vec<NodeId>,
+}
+
+/// One coupon holder's maintained distribution.
+#[derive(Clone, Debug)]
+struct Holder {
+    node: NodeId,
+    /// Eligible ranked children (non-seed out-neighbors, rank order).
+    targets: Vec<NodeId>,
+    /// Influence probabilities parallel to `targets`.
+    probs: Vec<f64>,
+    /// Cached rank DP (q, availability sums, E_k row) at the current k.
+    dp: RankDp,
+    /// `Σ_j q_j · c_sc(target_j)` — this holder's Table-I cost term.
+    local_cost: f64,
+}
+
+const NO_SLOT: u32 = u32::MAX;
+
+/// Stateful analytic evaluator of one evolving deployment. See the module
+/// docs for the maintenance strategy and the bit-identity contract.
+#[derive(Clone, Debug)]
+pub struct SpreadEngine<'a> {
+    graph: &'a CsrGraph,
+    data: &'a NodeData,
+    seeds: Vec<NodeId>,
+    coupons: Vec<u32>,
+    seed_mask: Vec<bool>,
+    seed_cost: f64,
+    levels: Vec<Option<u32>>,
+    order: Vec<NodeId>,
+    active_prob: Vec<f64>,
+    subtree_gain: Vec<f64>,
+    expected_benefit: f64,
+    /// Node → holder slot (`NO_SLOT` when the node holds no coupons).
+    slot: Vec<u32>,
+    holders: Vec<Holder>,
+    /// Holder slots that participate in propagation: spread members with at
+    /// least one eligible child, in spread order (mirrors
+    /// `SpreadState::evaluate`'s `distributions`).
+    spread_dists: Vec<u32>,
+    /// Fixpoint scratch.
+    complement: Vec<f64>,
+    /// Previous pass results, for exact-bit change detection.
+    prev_active: Vec<f64>,
+    prev_gain: Vec<f64>,
+    counters: EngineCounters,
+}
+
+impl<'a> SpreadEngine<'a> {
+    /// Build the engine for an initial deployment (counted as one full
+    /// rebuild).
+    pub fn new(
+        graph: &'a CsrGraph,
+        data: &'a NodeData,
+        seeds: &[NodeId],
+        coupons: &[u32],
+    ) -> SpreadEngine<'a> {
+        debug_assert_eq!(coupons.len(), graph.node_count());
+        let n = graph.node_count();
+        let mut engine = SpreadEngine {
+            graph,
+            data,
+            seeds: seeds.to_vec(),
+            coupons: coupons.to_vec(),
+            seed_mask: vec![false; n],
+            seed_cost: 0.0,
+            levels: vec![None; n],
+            order: Vec::new(),
+            active_prob: vec![0.0; n],
+            subtree_gain: vec![0.0; n],
+            expected_benefit: 0.0,
+            slot: vec![NO_SLOT; n],
+            holders: Vec::new(),
+            spread_dists: Vec::new(),
+            complement: vec![1.0; n],
+            prev_active: vec![0.0; n],
+            prev_gain: vec![0.0; n],
+            counters: EngineCounters::default(),
+        };
+        engine.rebuild();
+        engine
+    }
+
+    /// The escape hatch: recompute **everything** from scratch — holder
+    /// DPs, spread structure, propagation passes. Bit-identical to the
+    /// incrementally maintained state by contract (pinned by proptest);
+    /// exists so long-lived engines can bound drift concerns and as the
+    /// reference the tests compare against.
+    pub fn rebuild(&mut self) -> RefreshDelta {
+        for s in self.slot.iter_mut() {
+            *s = NO_SLOT;
+        }
+        self.holders.clear();
+        for i in 0..self.graph.node_count() {
+            self.seed_mask[i] = false;
+        }
+        for &s in &self.seeds {
+            self.seed_mask[s.index()] = true;
+        }
+        self.seed_cost = seed_cost(self.data, &self.seeds);
+        for i in 0..self.coupons.len() {
+            if self.coupons[i] > 0 {
+                let node = NodeId::from_index(i);
+                let holder = self.build_holder(node, self.coupons[i]);
+                self.slot[i] = self.holders.len() as u32;
+                self.holders.push(holder);
+            }
+        }
+        self.counters.full_rebuilds += 1;
+        self.derive_structure();
+        self.refresh(true)
+    }
+
+    // ------------------------------------------------------------------
+    // Read accessors (the `SpreadState` surface the greedy phases use).
+    // ------------------------------------------------------------------
+
+    /// Spread members in BFS order (identical to `SpreadState::order`).
+    pub fn order(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// Per-node activation probability.
+    pub fn active_prob(&self) -> &[f64] {
+        &self.active_prob
+    }
+
+    /// Per-node downstream gain (identical to `SpreadState::subtree_gain`).
+    pub fn subtree_gain(&self) -> &[f64] {
+        &self.subtree_gain
+    }
+
+    /// `B(S, K)` of the current deployment.
+    pub fn expected_benefit(&self) -> f64 {
+        self.expected_benefit
+    }
+
+    /// The current coupon allocation.
+    pub fn coupons(&self) -> &[u32] {
+        &self.coupons
+    }
+
+    /// The current seed set, in insertion order.
+    pub fn seeds(&self) -> &[NodeId] {
+        &self.seeds
+    }
+
+    /// Whether `v` is a seed.
+    pub fn is_seed(&self, v: NodeId) -> bool {
+        self.seed_mask[v.index()]
+    }
+
+    /// `Cseed(S)` — maintained incrementally, bit-identical to
+    /// [`seed_cost`].
+    pub fn seed_cost(&self) -> f64 {
+        self.seed_cost
+    }
+
+    /// `Csc(K(I))` — the ascending-node-order sum of cached per-holder
+    /// cost terms, bit-identical to
+    /// [`expected_sc_cost`](crate::cost::expected_sc_cost).
+    pub fn sc_cost(&self) -> f64 {
+        let mut total = 0.0;
+        for i in 0..self.slot.len() {
+            let s = self.slot[i];
+            if s != NO_SLOT {
+                total += self.holders[s as usize].local_cost;
+            }
+        }
+        total
+    }
+
+    /// Evaluation-effort counters accumulated so far.
+    pub fn counters(&self) -> EngineCounters {
+        self.counters
+    }
+
+    /// Materialize the maintained state as a [`SpreadState`] (used by the
+    /// equivalence tests; everything is a field copy).
+    pub fn to_state(&self) -> SpreadState {
+        SpreadState {
+            levels: self.levels.clone(),
+            active_prob: self.active_prob.clone(),
+            subtree_gain: self.subtree_gain.clone(),
+            order: self.order.clone(),
+            expected_benefit: self.expected_benefit,
+            seed_mask: self.seed_mask.clone(),
+            coupons: self.coupons.clone(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Moves.
+    // ------------------------------------------------------------------
+
+    /// Give `u` up to `count` extra coupons (capped at its out-degree,
+    /// mirroring `Deployment::add_coupons`). Returns the number actually
+    /// added and what changed. A holder that already relays takes the
+    /// O(deg)-per-coupon DP-extension fast path; a first coupon builds the
+    /// holder and re-derives the spread structure.
+    pub fn add_coupons(&mut self, u: NodeId, count: u32) -> (u32, RefreshDelta) {
+        let cap = self.graph.out_degree(u) as u32;
+        let cur = self.coupons[u.index()];
+        let add = count.min(cap.saturating_sub(cur));
+        if add == 0 {
+            return (0, RefreshDelta::default());
+        }
+        self.coupons[u.index()] = cur + add;
+        if cur > 0 {
+            let s = self.slot[u.index()] as usize;
+            // Split borrow: the holder owns its probs, the DP extends over
+            // them.
+            let holder = &mut self.holders[s];
+            for _ in 0..add {
+                holder.dp.extend_one(&holder.probs);
+            }
+            holder.local_cost = local_cost(self.data, &holder.targets, holder.dp.q());
+            self.counters.incremental_updates += u64::from(add);
+            // An internal node already relayed to its children: the spread
+            // structure cannot change, only probabilities and gains do.
+            (add, self.refresh(false))
+        } else {
+            let holder = self.build_holder(u, add);
+            self.slot[u.index()] = self.holders.len() as u32;
+            self.holders.push(holder);
+            self.derive_structure();
+            (add, self.refresh(true))
+        }
+    }
+
+    /// Activate `v` as a seed bundled with `coupons` coupons (the ID
+    /// phase's pivot package / Alg. 1 "new source" move). Idempotent on the
+    /// seed itself. Holders that previously counted `v` as an eligible
+    /// child rebuild their DPs (a seed never receives coupons).
+    pub fn add_seed_package(&mut self, v: NodeId, coupons: u32) -> RefreshDelta {
+        let mut eligibility_changed = Vec::new();
+        if !self.seed_mask[v.index()] {
+            self.seeds.push(v);
+            self.seed_mask[v.index()] = true;
+            self.seed_cost += self.data.seed_cost(v);
+            // Eligibility of edges *into* v changed: rebuild the holders'
+            // DPs, and report every in-neighbor (holder or not — a fresh
+            // candidate's k = 0 → 1 probe reads the same child set) so
+            // marginal caches invalidate theirs.
+            for &src in self.graph.in_sources(v) {
+                eligibility_changed.push(src);
+                let s = self.slot[src.index()];
+                if s != NO_SLOT {
+                    let k = self.coupons[src.index()];
+                    self.holders[s as usize] = self.build_holder(src, k);
+                }
+            }
+        }
+        if coupons > 0 {
+            let cap = self.graph.out_degree(v) as u32;
+            let cur = self.coupons[v.index()];
+            let add = coupons.min(cap.saturating_sub(cur));
+            if add > 0 {
+                self.coupons[v.index()] = cur + add;
+                if cur > 0 {
+                    let s = self.slot[v.index()] as usize;
+                    let k = self.coupons[v.index()];
+                    self.holders[s] = self.build_holder(v, k);
+                } else {
+                    let holder = self.build_holder(v, add);
+                    self.slot[v.index()] = self.holders.len() as u32;
+                    self.holders.push(holder);
+                }
+            }
+        }
+        self.derive_structure();
+        let mut delta = self.refresh(true);
+        delta.eligibility_changed = eligibility_changed;
+        delta
+    }
+
+    /// Retrieve up to `count` coupons from `u` (the SC-Maneuver donor
+    /// move). Returns the number removed and what changed. The donor's DP
+    /// rebuilds from scratch (shrinking a saturating distribution is not
+    /// reversible); every other holder's cache is reused.
+    pub fn remove_coupons(&mut self, u: NodeId, count: u32) -> (u32, RefreshDelta) {
+        let cur = self.coupons[u.index()];
+        let take = count.min(cur);
+        if take == 0 {
+            return (0, RefreshDelta::default());
+        }
+        let new_k = cur - take;
+        self.coupons[u.index()] = new_k;
+        let s = self.slot[u.index()] as usize;
+        if new_k == 0 {
+            // Swap-remove the holder and fix the displaced slot.
+            self.holders.swap_remove(s);
+            self.slot[u.index()] = NO_SLOT;
+            if s < self.holders.len() {
+                let moved = self.holders[s].node;
+                self.slot[moved.index()] = s as u32;
+            }
+            // The node no longer relays: descendants may leave the spread.
+            self.derive_structure();
+            (take, self.refresh(true))
+        } else {
+            self.holders[s] = self.build_holder(u, new_k);
+            // Still a relay: membership is unchanged, only q shrank.
+            (take, self.refresh(false))
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Marginal probes (read-only).
+    // ------------------------------------------------------------------
+
+    /// First-order `(ΔB, ΔCsc)` of giving `u` one more coupon —
+    /// bit-identical to `SpreadState::coupon_delta(graph, data, u, 1)` but
+    /// O(deg): holders answer from their cached availability sums, fresh
+    /// candidates run the k = 0 → 1 closed form.
+    pub fn coupon_add_delta(&self, u: NodeId, scratch: &mut DeltaScratch) -> (f64, f64) {
+        let pu = self.active_prob[u.index()];
+        let s = self.slot[u.index()];
+        if s != NO_SLOT {
+            let holder = &self.holders[s as usize];
+            if holder.targets.is_empty() {
+                return (0.0, 0.0);
+            }
+            scratch.q_new.resize(holder.targets.len(), 0.0);
+            holder.dp.extended_q_into(&holder.probs, &mut scratch.q_new);
+            self.delta_from_q(pu, &holder.targets, holder.dp.q(), &scratch.q_new)
+        } else {
+            collect_eligible(
+                self.graph,
+                &self.seed_mask,
+                &self.levels,
+                u,
+                &mut scratch.targets,
+                &mut scratch.probs,
+            );
+            if scratch.targets.is_empty() {
+                return (0.0, 0.0);
+            }
+            // k = 0 → 1: q_old is identically +0.0 and the new
+            // availability is E_0 (no prior redemption), i.e. the running
+            // product of failure probabilities — `redemption_probs`' exact
+            // arithmetic for k = 1.
+            let mut db = 0.0;
+            let mut dc = 0.0;
+            let mut e0 = 1.0f64;
+            for (&v, &p) in scratch.targets.iter().zip(scratch.probs.iter()) {
+                let dq = p * e0 - 0.0;
+                db += pu * dq * self.subtree_gain[v.index()];
+                dc += dq * self.data.sc_cost(v);
+                e0 *= 1.0 - p;
+            }
+            (db, dc)
+        }
+    }
+
+    /// First-order `(ΔB, ΔCsc)` of retrieving one coupon from `u` —
+    /// bit-identical to `SpreadState::coupon_removal_delta`. The k − 1
+    /// probabilities are recomputed from scratch (O(deg·k)); removal is
+    /// rare enough (SCM donors only) that no downward cache exists.
+    pub fn coupon_removal_delta(&self, u: NodeId, scratch: &mut DeltaScratch) -> (f64, f64) {
+        let k = self.coupons[u.index()];
+        if k == 0 {
+            return (0.0, 0.0);
+        }
+        let s = self.slot[u.index()] as usize;
+        let holder = &self.holders[s];
+        if holder.targets.is_empty() {
+            return (0.0, 0.0);
+        }
+        scratch.q_new.resize(holder.targets.len(), 0.0);
+        redemption_probs_into(&holder.probs, k - 1, &mut scratch.q_new);
+        let pu = self.active_prob[u.index()];
+        self.delta_from_q(pu, &holder.targets, holder.dp.q(), &scratch.q_new)
+    }
+
+    // ------------------------------------------------------------------
+    // Internals.
+    // ------------------------------------------------------------------
+
+    /// `(ΔB, ΔCsc)` accumulated exactly like `SpreadState::coupon_count_delta`.
+    fn delta_from_q(
+        &self,
+        pu: f64,
+        targets: &[NodeId],
+        q_old: &[f64],
+        q_new: &[f64],
+    ) -> (f64, f64) {
+        let mut db = 0.0;
+        let mut dc = 0.0;
+        for ((&v, &qo), &qn) in targets.iter().zip(q_old.iter()).zip(q_new.iter()) {
+            let dq = qn - qo;
+            db += pu * dq * self.subtree_gain[v.index()];
+            dc += dq * self.data.sc_cost(v);
+        }
+        (db, dc)
+    }
+
+    /// Build one holder's distribution from scratch: eligible children at
+    /// the current seed mask, rank DP at `k`, cached cost term.
+    fn build_holder(&mut self, node: NodeId, k: u32) -> Holder {
+        let mut targets = Vec::new();
+        let mut probs = Vec::new();
+        collect_eligible(
+            self.graph,
+            &self.seed_mask,
+            &self.levels,
+            node,
+            &mut targets,
+            &mut probs,
+        );
+        let dp = RankDp::build(&probs, k);
+        let local_cost = local_cost(self.data, &targets, dp.q());
+        self.counters.holder_rebuilds += 1;
+        Holder {
+            node,
+            targets,
+            probs,
+            dp,
+            local_cost,
+        }
+    }
+
+    /// Re-derive the spread structure (BFS levels/order and the ordered
+    /// distribution list) from the current seeds and coupons.
+    fn derive_structure(&mut self) {
+        let (levels, order) = spread_levels(self.graph, &self.seeds, &self.coupons);
+        self.levels = levels;
+        self.order = order;
+        self.spread_dists.clear();
+        for &u in &self.order {
+            if self.coupons[u.index()] == 0 {
+                continue;
+            }
+            let s = self.slot[u.index()];
+            debug_assert_ne!(s, NO_SLOT);
+            if !self.holders[s as usize].targets.is_empty() {
+                self.spread_dists.push(s);
+            }
+        }
+        self.counters.structural_refreshes += 1;
+    }
+
+    /// Re-run the propagation passes (the same `pub(crate)` functions
+    /// `SpreadState::evaluate` uses) over the cached distributions and
+    /// report, with exact-bit granularity, which nodes changed.
+    fn refresh(&mut self, structural: bool) -> RefreshDelta {
+        let n = self.graph.node_count();
+        let dists: Vec<DistRef<'_>> = self
+            .spread_dists
+            .iter()
+            .map(|&s| {
+                let h = &self.holders[s as usize];
+                DistRef {
+                    node: h.node,
+                    targets: &h.targets,
+                    q: h.dp.q(),
+                }
+            })
+            .collect();
+        propagate_activation(
+            &dists,
+            &self.seeds,
+            &self.seed_mask,
+            &mut self.active_prob,
+            &mut self.complement,
+        );
+        for i in 0..n {
+            self.subtree_gain[i] = self.data.benefit(NodeId::from_index(i));
+        }
+        accumulate_gains(&dists, self.data, &mut self.subtree_gain);
+        self.expected_benefit = benefit_sum(&self.order, &self.active_prob, self.data);
+
+        let mut delta = RefreshDelta {
+            structural,
+            ..RefreshDelta::default()
+        };
+        for i in 0..n {
+            if self.active_prob[i].to_bits() != self.prev_active[i].to_bits() {
+                delta.probs_changed.push(NodeId::from_index(i));
+            }
+            if self.subtree_gain[i].to_bits() != self.prev_gain[i].to_bits() {
+                delta.gains_changed.push(NodeId::from_index(i));
+            }
+        }
+        self.prev_active.copy_from_slice(&self.active_prob);
+        self.prev_gain.copy_from_slice(&self.subtree_gain);
+        delta
+    }
+}
+
+/// Reusable scratch buffers for the marginal probes (one per greedy loop;
+/// avoids an allocation per candidate).
+#[derive(Clone, Debug, Default)]
+pub struct DeltaScratch {
+    targets: Vec<NodeId>,
+    probs: Vec<f64>,
+    q_new: Vec<f64>,
+}
+
+/// One holder's Table-I cost term, `Σ_j q_j · c_sc(target_j)` — the exact
+/// expression `expected_sc_cost` accumulates per internal node.
+fn local_cost(data: &NodeData, targets: &[NodeId], q: &[f64]) -> f64 {
+    q.iter()
+        .zip(targets.iter())
+        .map(|(&qj, &v)| qj * data.sc_cost(v))
+        .sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::expected_sc_cost;
+    use osn_graph::GraphBuilder;
+
+    /// Example 1 tree.
+    fn example1() -> (CsrGraph, NodeData) {
+        let mut b = GraphBuilder::new(7);
+        b.add_edge(0, 1, 0.6).unwrap();
+        b.add_edge(0, 2, 0.4).unwrap();
+        b.add_edge(1, 3, 0.5).unwrap();
+        b.add_edge(1, 4, 0.4).unwrap();
+        b.add_edge(2, 5, 0.8).unwrap();
+        b.add_edge(2, 6, 0.7).unwrap();
+        let mut seed_costs = vec![100.0; 7];
+        seed_costs[0] = 0.0;
+        (
+            b.build().unwrap(),
+            NodeData::new(vec![1.0; 7], seed_costs, vec![1.0; 7]).unwrap(),
+        )
+    }
+
+    fn assert_engine_matches_evaluate(
+        engine: &SpreadEngine<'_>,
+        graph: &CsrGraph,
+        data: &NodeData,
+    ) {
+        let fresh = SpreadState::evaluate(graph, data, engine.seeds(), engine.coupons());
+        assert_eq!(engine.order(), &fresh.order[..], "order diverged");
+        for i in 0..graph.node_count() {
+            assert_eq!(
+                engine.active_prob()[i].to_bits(),
+                fresh.active_prob[i].to_bits(),
+                "active_prob[{i}]"
+            );
+            assert_eq!(
+                engine.subtree_gain()[i].to_bits(),
+                fresh.subtree_gain[i].to_bits(),
+                "subtree_gain[{i}]"
+            );
+        }
+        assert_eq!(
+            engine.expected_benefit().to_bits(),
+            fresh.expected_benefit.to_bits(),
+            "expected_benefit"
+        );
+        let sc = expected_sc_cost(graph, data, engine.seeds(), engine.coupons());
+        assert_eq!(engine.sc_cost().to_bits(), sc.to_bits(), "sc_cost");
+    }
+
+    #[test]
+    fn broaden_fast_path_matches_from_scratch() {
+        let (g, d) = example1();
+        let mut k = vec![0u32; 7];
+        k[0] = 1;
+        let mut engine = SpreadEngine::new(&g, &d, &[NodeId(0)], &k);
+        assert_engine_matches_evaluate(&engine, &g, &d);
+        let (added, delta) = engine.add_coupons(NodeId(0), 1);
+        assert_eq!(added, 1);
+        assert!(!delta.structural);
+        assert_engine_matches_evaluate(&engine, &g, &d);
+        assert_eq!(engine.counters().incremental_updates, 1);
+    }
+
+    #[test]
+    fn deepen_and_seed_moves_match_from_scratch() {
+        let (g, d) = example1();
+        let mut k = vec![0u32; 7];
+        k[0] = 1;
+        let mut engine = SpreadEngine::new(&g, &d, &[NodeId(0)], &k);
+        let (added, delta) = engine.add_coupons(NodeId(1), 1);
+        assert_eq!(added, 1);
+        assert!(delta.structural, "a first coupon grows the spread");
+        assert_engine_matches_evaluate(&engine, &g, &d);
+        engine.add_seed_package(NodeId(2), 1);
+        assert_engine_matches_evaluate(&engine, &g, &d);
+        let (removed, _) = engine.remove_coupons(NodeId(1), 1);
+        assert_eq!(removed, 1);
+        assert_engine_matches_evaluate(&engine, &g, &d);
+    }
+
+    #[test]
+    fn probes_match_spread_state_deltas() {
+        let (g, d) = example1();
+        let mut k = vec![0u32; 7];
+        k[0] = 1;
+        k[1] = 1;
+        let engine = SpreadEngine::new(&g, &d, &[NodeId(0)], &k);
+        let state = SpreadState::evaluate(&g, &d, &[NodeId(0)], &k);
+        let mut scratch = DeltaScratch::default();
+        for v in 0..7u32 {
+            let (db_e, dc_e) = engine.coupon_add_delta(NodeId(v), &mut scratch);
+            let (db_s, dc_s) = state.coupon_delta(&g, &d, NodeId(v), 1);
+            assert_eq!(db_e.to_bits(), db_s.to_bits(), "ΔB at v{v}");
+            assert_eq!(dc_e.to_bits(), dc_s.to_bits(), "ΔC at v{v}");
+            let (rb_e, rc_e) = engine.coupon_removal_delta(NodeId(v), &mut scratch);
+            let (rb_s, rc_s) = state.coupon_removal_delta(&g, &d, NodeId(v));
+            assert_eq!(rb_e.to_bits(), rb_s.to_bits(), "removal ΔB at v{v}");
+            assert_eq!(rc_e.to_bits(), rc_s.to_bits(), "removal ΔC at v{v}");
+        }
+    }
+
+    #[test]
+    fn rebuild_is_a_bitwise_no_op() {
+        let (g, d) = example1();
+        let mut k = vec![0u32; 7];
+        k[0] = 1;
+        let mut engine = SpreadEngine::new(&g, &d, &[NodeId(0)], &k);
+        engine.add_coupons(NodeId(0), 1);
+        engine.add_coupons(NodeId(1), 1);
+        let before = engine.to_state();
+        engine.rebuild();
+        let after = engine.to_state();
+        assert_eq!(before.order, after.order);
+        for i in 0..7 {
+            assert_eq!(
+                before.active_prob[i].to_bits(),
+                after.active_prob[i].to_bits()
+            );
+            assert_eq!(
+                before.subtree_gain[i].to_bits(),
+                after.subtree_gain[i].to_bits()
+            );
+        }
+        assert_eq!(
+            before.expected_benefit.to_bits(),
+            after.expected_benefit.to_bits()
+        );
+        assert_eq!(engine.counters().full_rebuilds, 2);
+    }
+
+    #[test]
+    fn caps_and_no_ops_report_empty_deltas() {
+        let (g, d) = example1();
+        let mut k = vec![0u32; 7];
+        k[0] = 2;
+        let mut engine = SpreadEngine::new(&g, &d, &[NodeId(0)], &k);
+        let (added, delta) = engine.add_coupons(NodeId(0), 5);
+        assert_eq!(added, 0, "v0 is degree-capped");
+        assert!(delta.probs_changed.is_empty() && delta.gains_changed.is_empty());
+        let (removed, delta) = engine.remove_coupons(NodeId(3), 1);
+        assert_eq!(removed, 0);
+        assert!(!delta.structural);
+        // Leaf nodes can hold no coupons at all.
+        let (added, _) = engine.add_coupons(NodeId(3), 2);
+        assert_eq!(added, 0);
+        assert_engine_matches_evaluate(&engine, &g, &d);
+    }
+}

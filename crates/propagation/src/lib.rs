@@ -32,6 +32,10 @@
 //!   (all of the paper's worked examples), a documented independent-parent
 //!   approximation elsewhere; exposes the incremental quantities S3CA's
 //!   marginal-redemption loop needs.
+//! * [`engine`] — the **incremental spread engine**: a delta-maintained
+//!   [`spread::SpreadState`] that S3CA's greedy loops mutate move-by-move
+//!   instead of re-evaluating from scratch (see "Evaluation architecture"
+//!   below).
 //! * [`cost`] — the paper's expected-SC-cost `Csc(K(I))` (local per internal
 //!   node, Table I) and seed cost.
 //! * [`evaluator`] / [`monte_carlo`] — a common benefit-evaluator interface
@@ -39,6 +43,39 @@
 //!   point) with analytic and pool-parallel Monte-Carlo implementations.
 //! * [`metrics`] — the reported quantities of Sec. VI: redemption rate,
 //!   total benefit, seed–SC rate, average farthest hop.
+//!
+//! ## Evaluation architecture
+//!
+//! Analytic evaluation has two entry points with one arithmetic:
+//!
+//! * **One-shot**: [`SpreadState::evaluate`] — BFS the coupon spread,
+//!   build each holder's `(eligible children, rank-DP, q)` distribution,
+//!   run the forward activation passes and the backward gain pass. Every
+//!   pass is a shared `pub(crate)` function.
+//! * **Maintained**: [`SpreadEngine`] — owns those distributions as a
+//!   live index across an evolving deployment. Its lifecycle:
+//!   [`SpreadEngine::new`] performs one full build (the only O(Σ deg·k)
+//!   DP sweep); a *broaden* move
+//!   ([`add_coupons`](SpreadEngine::add_coupons) on a current holder)
+//!   extends that holder's saturating consumption distribution in O(deg)
+//!   and re-runs only the flat propagation passes; *deepen*, *new seed*
+//!   ([`add_seed_package`](SpreadEngine::add_seed_package)) and *coupon
+//!   retrieval* ([`remove_coupons`](SpreadEngine::remove_coupons))
+//!   re-derive the BFS structure but reuse every untouched holder's DP,
+//!   rebuilding only holders whose eligibility or count changed. O(deg)
+//!   marginal probes ([`coupon_add_delta`](SpreadEngine::coupon_add_delta))
+//!   serve the greedy candidate ranking from the cached availability sums.
+//!
+//! [`SpreadEngine::rebuild`] is the escape hatch: a complete from-scratch
+//! reconstruction, run only on construction (or on demand — e.g. after
+//! deserializing a deployment from elsewhere). The engine's contract is
+//! that rebuilding **never changes a bit**: the incremental DP extension
+//! reproduces the exact floating-point sequence of the full DP, so the
+//! engine is an optimization, not a semantic change. Proptests
+//! (`engine_equals_rebuild_after_any_move_sequence`) pin this after
+//! arbitrary move sequences on cyclic graphs, and `tests/determinism.rs`
+//! pins the downstream consequence: the engine-backed greedy phases make
+//! byte-identical CSVs.
 //!
 //! ## Parallel execution and the determinism contract
 //!
@@ -71,6 +108,7 @@
 pub mod bits;
 pub mod cascade;
 pub mod cost;
+pub mod engine;
 pub mod evaluator;
 pub mod linear_threshold;
 pub mod metrics;
@@ -82,6 +120,7 @@ pub mod world;
 
 pub use cascade::{simulate_cascade, CascadeOutcome};
 pub use cost::{expected_sc_cost, redemption_rate, seed_cost, total_cost};
+pub use engine::{DeltaScratch, EngineCounters, RefreshDelta, SpreadEngine};
 pub use evaluator::{AnalyticEvaluator, BenefitEvaluator, DeploymentRef};
 pub use metrics::RedemptionReport;
 pub use monte_carlo::{MonteCarloEvaluator, SimulationStats};

@@ -50,6 +50,111 @@ pub fn redemption_probs_into(probs: &[f64], k: u32, out: &mut [f64]) {
     }
 }
 
+/// Cached rank DP of one coupon holder, extensible by one coupon in
+/// `O(deg)` instead of the `O(deg·k)` from-scratch sweep.
+///
+/// The cache stores, per rank `j` (0-indexed):
+///
+/// * `avail[j]` — the *availability* factor `Pr[fewer than k of attempts
+///   1..j succeeded]`, kept as the **ascending partial sum**
+///   `Σ_{c<k} E_c[j]` exactly as [`redemption_probs`] accumulates it;
+/// * `ek[j]` — `E_k[j] = Pr[exactly k of attempts 1..j succeeded]`, the
+///   next term of that sum.
+///
+/// Granting one more coupon turns the `k`-availability into the
+/// `(k+1)`-availability by appending the `E_k` term: the floating-point
+/// addition sequence is identical to the one a from-scratch DP at `k+1`
+/// performs, so [`extend_one`](RankDp::extend_one) is **bit-identical** to
+/// rebuilding — the contract `SpreadEngine`'s `rebuild()` proptest pins.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RankDp {
+    /// Per-rank redemption probabilities `q_j` for the current `k`.
+    q: Vec<f64>,
+    /// Ascending partial sums `Σ_{c<k} E_c[j]` (availability before rank
+    /// `j+1`'s attempt).
+    avail: Vec<f64>,
+    /// `E_k[j]`: probability that exactly `k` of the first `j` attempts
+    /// succeeded — the term `extend_one` folds into `avail`.
+    ek: Vec<f64>,
+    k: u32,
+}
+
+impl RankDp {
+    /// Build the cache for attempt probabilities `probs` under `k` coupons.
+    /// `self.q()` equals [`redemption_probs`]`(probs, k)` bit-for-bit.
+    pub fn build(probs: &[f64], k: u32) -> RankDp {
+        let d = probs.len();
+        let ku = k as usize;
+        let mut q = vec![0.0f64; d];
+        let mut avail = vec![0.0f64; d];
+        let mut ek = vec![0.0f64; d];
+        // Saturate at k + 1 (one row deeper than `redemption_probs`) so
+        // dist[k] stays the exact `E_k` row rather than the ≥k bucket.
+        let mut dist = vec![0.0f64; ku + 2];
+        dist[0] = 1.0;
+        for (j, &p) in probs.iter().enumerate() {
+            // Same entries, same ascending order, hence the same bits as
+            // `redemption_probs`' `dist[..k].iter().sum()`. Note `Sum<f64>`
+            // folds from -0.0, so the k = 0 availability is -0.0 — kept
+            // as-is because extensions must continue that exact sum, while
+            // q is pinned to the +0.0 of `redemption_probs`' early return.
+            avail[j] = dist[..ku].iter().sum();
+            q[j] = if ku == 0 { 0.0 } else { p * avail[j] };
+            ek[j] = dist[ku];
+            for c in (0..ku + 1).rev() {
+                dist[c + 1] += dist[c] * p;
+                dist[c] *= 1.0 - p;
+            }
+        }
+        RankDp { q, avail, ek, k }
+    }
+
+    /// Current coupon count the cache reflects.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Per-rank redemption probabilities for the current `k`.
+    pub fn q(&self) -> &[f64] {
+        &self.q
+    }
+
+    /// Grow the cache from `k` to `k + 1` coupons in `O(deg)`. After the
+    /// call, `self` equals `RankDp::build(probs, k + 1)` bit-for-bit.
+    pub fn extend_one(&mut self, probs: &[f64]) {
+        debug_assert_eq!(probs.len(), self.q.len());
+        self.k += 1;
+        for (j, &p) in probs.iter().enumerate() {
+            // Appending E_k to the ascending partial sum is exactly the
+            // next `+=` a from-scratch sweep at k + 1 would execute.
+            self.avail[j] += self.ek[j];
+            self.q[j] = p * self.avail[j];
+        }
+        // Roll the row forward: E_{k+1}[j] from E_{k+1}[j−1] and E_k[j−1],
+        // the same `x·(1−p) + y·p` expression the in-place DP uses.
+        let mut prev_new = 0.0f64; // E_{k+1}[0]
+        for (j, &p) in probs.iter().enumerate() {
+            let cur = prev_new * (1.0 - p) + self.ek[j] * p;
+            self.ek[j] = prev_new;
+            prev_new = cur;
+        }
+    }
+
+    /// The redemption probabilities one extra coupon would produce, without
+    /// mutating the cache — the `O(deg)` marginal probe of the greedy
+    /// loops. Writes `redemption_probs(probs, k + 1)` (bit-identical) into
+    /// `out`.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != probs.len()`.
+    pub fn extended_q_into(&self, probs: &[f64], out: &mut [f64]) {
+        assert_eq!(out.len(), probs.len());
+        for (j, &p) in probs.iter().enumerate() {
+            out[j] = p * (self.avail[j] + self.ek[j]);
+        }
+    }
+}
+
 /// Probability that **all** `k` coupons end up redeemed after attempting
 /// every neighbor (used by tests and by the exhaustive OPT solver's
 /// upper bounds).
@@ -152,6 +257,50 @@ mod tests {
         let p = [0.9, 0.9, 0.9, 0.9];
         assert!(expected_redemptions(&p, 2) <= 2.0 + EPS);
         assert!(expected_redemptions(&p, 100) <= 4.0 + EPS);
+    }
+
+    /// Bitwise equality helper for the RankDp contract tests.
+    fn assert_bits_eq(a: &[f64], b: &[f64], what: &str) {
+        assert_eq!(a.len(), b.len(), "{what}: length");
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: rank {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn rank_dp_build_matches_redemption_probs_bitwise() {
+        let probs = [0.55, 0.5, 0.31, 0.9999, 0.0, 0.125, 0.7];
+        for k in 0..10u32 {
+            let dp = RankDp::build(&probs, k);
+            assert_bits_eq(dp.q(), &redemption_probs(&probs, k), "build");
+        }
+    }
+
+    #[test]
+    fn rank_dp_extension_chain_is_bit_identical_to_rebuild() {
+        let probs = [0.3, 0.85, 0.2, 0.61, 0.47, 0.09];
+        let mut dp = RankDp::build(&probs, 0);
+        for k in 1..9u32 {
+            // Probe first, then commit: both must equal the fresh build.
+            let mut probe = vec![0.0; probs.len()];
+            dp.extended_q_into(&probs, &mut probe);
+            dp.extend_one(&probs);
+            assert_eq!(dp.k(), k);
+            let fresh = RankDp::build(&probs, k);
+            assert_bits_eq(dp.q(), fresh.q(), "extended q vs rebuilt q");
+            assert_bits_eq(&probe, fresh.q(), "probe vs rebuilt q");
+            assert_bits_eq(&dp.avail, &fresh.avail, "avail partial sums");
+            assert_bits_eq(&dp.ek, &fresh.ek, "E_k row");
+            assert_bits_eq(dp.q(), &redemption_probs(&probs, k), "vs DP");
+        }
+    }
+
+    #[test]
+    fn rank_dp_handles_empty_and_leaf_holders() {
+        let mut dp = RankDp::build(&[], 3);
+        assert!(dp.q().is_empty());
+        dp.extend_one(&[]);
+        assert_eq!(dp.k(), 4);
     }
 
     #[test]

@@ -38,8 +38,8 @@ pub struct SpreadState {
     pub order: Vec<NodeId>,
     /// `Σ_v P(v)·b(v)` — the deployment's expected benefit `B(S, K)`.
     pub expected_benefit: f64,
-    seed_mask: Vec<bool>,
-    coupons: Vec<u32>,
+    pub(crate) seed_mask: Vec<bool>,
+    pub(crate) coupons: Vec<u32>,
 }
 
 /// BFS over the coupon spread: seeds at level 0; a node relays (expands to
@@ -88,6 +88,110 @@ pub fn edge_eligible(seed_mask: &[bool], _lu: Option<u32>, _lv: Option<u32>, v: 
     !seed_mask[v.index()]
 }
 
+/// A borrowed coupon distribution: one spread holder's eligible ranked
+/// children and their redemption probabilities. The shared currency of the
+/// propagation passes below — both [`SpreadState::evaluate`] and the
+/// incremental [`SpreadEngine`](crate::engine::SpreadEngine) build slices
+/// of these, so the two paths run the *same* floating-point sequence (the
+/// bit-identity contract between them is pinned by proptest).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct DistRef<'a> {
+    pub node: NodeId,
+    pub targets: &'a [NodeId],
+    pub q: &'a [f64],
+}
+
+/// Forward pass: activation probabilities in ascending level order (one
+/// exact pass on forests), then Jacobi fixpoint refinement so cross- and
+/// back-edges of cyclic graphs contribute too. `active_prob` and
+/// `complement` must be `n`-sized scratch; both are fully overwritten.
+///
+/// The fixpoint round count is deliberately small: iterating to the true
+/// fixpoint over-amplifies through short cycles (the independence
+/// assumption echoes A→B→A), while 3 rounds keeps the estimate within
+/// ±15% of Monte-Carlo on adversarially dense reciprocal graphs (see
+/// `tests/evaluator_consistency.rs`). Forests converge immediately (delta
+/// 0 after one round), so the pinned paper numbers are untouched.
+pub(crate) fn propagate_activation(
+    dists: &[DistRef<'_>],
+    seeds: &[NodeId],
+    seed_mask: &[bool],
+    active_prob: &mut [f64],
+    complement: &mut [f64],
+) {
+    let n = seed_mask.len();
+    active_prob.fill(0.0);
+    for &s in seeds {
+        active_prob[s.index()] = 1.0;
+    }
+    // Initial ordered pass (exact on forests).
+    for d in dists {
+        let pu = active_prob[d.node.index()];
+        if pu <= 0.0 {
+            continue;
+        }
+        for (&v, &qj) in d.targets.iter().zip(d.q.iter()) {
+            let c = pu * qj;
+            let pv = &mut active_prob[v.index()];
+            *pv = 1.0 - (1.0 - *pv) * (1.0 - c);
+        }
+    }
+    // Bounded fixpoint refinement: recompute every non-seed probability
+    // from all incoming distributions.
+    for _ in 0..3 {
+        for c in complement.iter_mut() {
+            *c = 1.0;
+        }
+        for d in dists {
+            let pu = active_prob[d.node.index()];
+            if pu <= 0.0 {
+                continue;
+            }
+            for (&v, &qj) in d.targets.iter().zip(d.q.iter()) {
+                complement[v.index()] *= 1.0 - pu * qj;
+            }
+        }
+        let mut delta = 0.0f64;
+        for i in 0..n {
+            if seed_mask[i] {
+                continue;
+            }
+            let new_p = 1.0 - complement[i];
+            // Only nodes receiving coupons can be active.
+            let old = active_prob[i];
+            if (new_p - old).abs() > delta {
+                delta = (new_p - old).abs();
+            }
+            active_prob[i] = new_p;
+        }
+        if delta < 1e-12 {
+            break;
+        }
+    }
+}
+
+/// Backward pass: subtree gains in descending level order, reusing the
+/// forward pass's distributions (holders with no eligible children are
+/// no-ops — their gain stays their own benefit). `subtree_gain` must
+/// arrive initialized to every node's own benefit.
+pub(crate) fn accumulate_gains(dists: &[DistRef<'_>], data: &NodeData, subtree_gain: &mut [f64]) {
+    for d in dists.iter().rev() {
+        let mut gain = data.benefit(d.node);
+        for (&v, &qj) in d.targets.iter().zip(d.q.iter()) {
+            gain += qj * subtree_gain[v.index()];
+        }
+        subtree_gain[d.node.index()] = gain;
+    }
+}
+
+/// `Σ_v P(v)·b(v)` over the spread members, in spread order.
+pub(crate) fn benefit_sum(order: &[NodeId], active_prob: &[f64], data: &NodeData) -> f64 {
+    order
+        .iter()
+        .map(|&v| active_prob[v.index()] * data.benefit(v))
+        .sum()
+}
+
 impl SpreadState {
     /// Evaluate the deployment `(seeds, coupons)` analytically.
     pub fn evaluate(
@@ -104,18 +208,11 @@ impl SpreadState {
         }
         let (levels, order) = spread_levels(graph, seeds, coupons);
 
-        // Forward pass: activation probabilities in ascending level order
-        // (one exact pass on forests), then Jacobi fixpoint refinement so
-        // cross- and back-edges of cyclic graphs contribute too. Per-edge
-        // redemption probabilities q are static per deployment (they depend
-        // only on each holder's ranked eligible children and coupon count),
-        // so they are computed once.
-        let mut active_prob = vec![0.0f64; n];
-        for &s in seeds {
-            active_prob[s.index()] = 1.0;
-        }
         // (holder, eligible children, q per child) for every coupon holder
-        // in the spread.
+        // in the spread. Per-edge redemption probabilities q are static per
+        // deployment (they depend only on each holder's ranked eligible
+        // children and coupon count), so they are computed once and shared
+        // by the forward and backward passes.
         let mut distributions: Vec<(NodeId, Vec<NodeId>, Vec<f64>)> = Vec::new();
         let mut elig_targets: Vec<NodeId> = Vec::new();
         let mut elig_probs: Vec<f64> = Vec::new();
@@ -138,91 +235,27 @@ impl SpreadState {
             let q = redemption_probs(&elig_probs, k);
             distributions.push((u, elig_targets.clone(), q));
         }
-        // Initial ordered pass (exact on forests).
-        for (u, targets, q) in &distributions {
-            let pu = active_prob[u.index()];
-            if pu <= 0.0 {
-                continue;
-            }
-            for (&v, &qj) in targets.iter().zip(q.iter()) {
-                let c = pu * qj;
-                let pv = &mut active_prob[v.index()];
-                *pv = 1.0 - (1.0 - *pv) * (1.0 - c);
-            }
-        }
-        // Bounded fixpoint refinement: recompute every non-seed probability
-        // from all incoming distributions. Forests converge immediately
-        // (delta 0 after one round), so the pinned paper numbers are
-        // untouched; on cyclic graphs this recovers most of the cross- and
-        // back-edge mass a single ordered pass misses. The round count is
-        // deliberately small: iterating to the true fixpoint over-amplifies
-        // through short cycles (the independence assumption echoes A→B→A),
-        // while 3 rounds keeps the estimate within ±15% of Monte-Carlo on
-        // adversarially dense reciprocal graphs (see
-        // tests/evaluator_consistency.rs).
-        let mut complement = vec![1.0f64; n];
-        for _ in 0..3 {
-            for c in complement.iter_mut() {
-                *c = 1.0;
-            }
-            for (u, targets, q) in &distributions {
-                let pu = active_prob[u.index()];
-                if pu <= 0.0 {
-                    continue;
-                }
-                for (&v, &qj) in targets.iter().zip(q.iter()) {
-                    complement[v.index()] *= 1.0 - pu * qj;
-                }
-            }
-            let mut delta = 0.0f64;
-            for i in 0..n {
-                if seed_mask[i] {
-                    continue;
-                }
-                let new_p = 1.0 - complement[i];
-                // Only nodes receiving coupons can be active.
-                let old = active_prob[i];
-                if (new_p - old).abs() > delta {
-                    delta = (new_p - old).abs();
-                }
-                active_prob[i] = new_p;
-            }
-            if delta < 1e-12 {
-                break;
-            }
-        }
+        let dists: Vec<DistRef<'_>> = distributions
+            .iter()
+            .map(|(u, targets, q)| DistRef {
+                node: *u,
+                targets,
+                q,
+            })
+            .collect();
 
-        // Backward pass: subtree gains in descending level order. Outside
-        // the spread every node's gain is just its own benefit (no coupons
-        // reach it during the current deployment).
+        let mut active_prob = vec![0.0f64; n];
+        let mut complement = vec![1.0f64; n];
+        propagate_activation(&dists, seeds, &seed_mask, &mut active_prob, &mut complement);
+
+        // Outside the spread every node's gain is just its own benefit (no
+        // coupons reach it during the current deployment).
         let mut subtree_gain: Vec<f64> = (0..n)
             .map(|i| data.benefit(NodeId::from_index(i)))
             .collect();
-        for &u in order.iter().rev() {
-            let k = coupons[u.index()];
-            if k == 0 {
-                continue;
-            }
-            collect_eligible(
-                graph,
-                &seed_mask,
-                &levels,
-                u,
-                &mut elig_targets,
-                &mut elig_probs,
-            );
-            let q = redemption_probs(&elig_probs, k);
-            let mut gain = data.benefit(u);
-            for (&v, &qj) in elig_targets.iter().zip(q.iter()) {
-                gain += qj * subtree_gain[v.index()];
-            }
-            subtree_gain[u.index()] = gain;
-        }
+        accumulate_gains(&dists, data, &mut subtree_gain);
 
-        let expected_benefit = order
-            .iter()
-            .map(|&v| active_prob[v.index()] * data.benefit(v))
-            .sum();
+        let expected_benefit = benefit_sum(&order, &active_prob, data);
 
         SpreadState {
             levels,
@@ -309,7 +342,7 @@ impl SpreadState {
 
 /// Gather `u`'s eligible ranked children into the scratch vectors (preserving
 /// rank order).
-fn collect_eligible(
+pub(crate) fn collect_eligible(
     graph: &CsrGraph,
     seed_mask: &[bool],
     levels: &[Option<u32>],

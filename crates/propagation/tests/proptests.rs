@@ -1,11 +1,14 @@
 //! Property-based tests of the propagation engine's core invariants.
 
-use osn_graph::{GraphBuilder, NodeData, NodeId};
+use osn_graph::{CsrGraph, GraphBuilder, NodeData, NodeId};
 use osn_pool::ThreadPool;
 use osn_propagation::rank::{exhaustion_probability, redemption_probs};
 use osn_propagation::spread::SpreadState;
 use osn_propagation::world::WorldCache;
-use osn_propagation::{expected_sc_cost, BenefitEvaluator, DeploymentRef, MonteCarloEvaluator};
+use osn_propagation::{
+    expected_sc_cost, BenefitEvaluator, DeltaScratch, DeploymentRef, MonteCarloEvaluator,
+    SpreadEngine,
+};
 use proptest::prelude::*;
 
 fn tree_strategy() -> impl Strategy<Value = Vec<(u32, u32, f64)>> {
@@ -30,6 +33,64 @@ fn build(n: usize, edges: &[(u32, u32, f64)]) -> osn_graph::CsrGraph {
         b.add_edge(u, v, p).unwrap();
     }
     b.build().unwrap()
+}
+
+/// Node count of the random-digraph strategy below.
+const DG_N: usize = 12;
+
+/// Random directed graph over [`DG_N`] nodes — cycles, cross- and
+/// back-edges all allowed (the engine must track the fixpoint path, not
+/// just forests). Self-loops are dropped; duplicate pairs collapse
+/// last-wins in the builder.
+fn digraph_strategy() -> impl Strategy<Value = Vec<(u32, u32, f64)>> {
+    proptest::collection::vec((0u32..DG_N as u32, 0u32..DG_N as u32, 0.0f64..=1.0), 1..40)
+}
+
+fn build_digraph(edges: &[(u32, u32, f64)]) -> CsrGraph {
+    let mut b = GraphBuilder::new(DG_N);
+    for &(u, v, p) in edges {
+        if u != v {
+            b.add_edge(u, v, p).unwrap();
+        }
+    }
+    b.build().unwrap()
+}
+
+/// A random greedy-move script: `(op, node, amount)` triples applied to
+/// the engine and to a mirrored `(seeds, coupons)` pair.
+fn moves_strategy() -> impl Strategy<Value = Vec<(u8, u32, u32)>> {
+    proptest::collection::vec((0u8..4, 0u32..DG_N as u32, 1u32..3), 1..12)
+}
+
+/// Assert every engine field equals a from-scratch evaluation, bit for bit.
+fn assert_engine_is_fresh(engine: &SpreadEngine<'_>, graph: &CsrGraph, data: &NodeData) {
+    let fresh = SpreadState::evaluate(graph, data, engine.seeds(), engine.coupons());
+    assert_eq!(engine.order(), &fresh.order[..], "spread order diverged");
+    for i in 0..graph.node_count() {
+        assert_eq!(
+            engine.active_prob()[i].to_bits(),
+            fresh.active_prob[i].to_bits(),
+            "active_prob[{i}] diverged"
+        );
+        assert_eq!(
+            engine.subtree_gain()[i].to_bits(),
+            fresh.subtree_gain[i].to_bits(),
+            "subtree_gain[{i}] diverged"
+        );
+    }
+    assert_eq!(
+        engine.expected_benefit().to_bits(),
+        fresh.expected_benefit.to_bits(),
+        "expected_benefit diverged"
+    );
+    let sc = expected_sc_cost(graph, data, engine.seeds(), engine.coupons());
+    assert_eq!(engine.sc_cost().to_bits(), sc.to_bits(), "sc_cost diverged");
+    let seed = osn_propagation::seed_cost(data, engine.seeds());
+    assert_eq!(
+        engine.seed_cost().to_bits(),
+        seed.to_bits(),
+        "seed_cost diverged"
+    );
 }
 
 proptest! {
@@ -197,6 +258,96 @@ proptest! {
             with_seed >= current,
             "extra seed lost benefit: {with_seed} < {current}"
         );
+    }
+
+    /// The tentpole contract: after ANY random move sequence — coupon
+    /// grants, seed packages, coupon retrievals, on cyclic graphs — the
+    /// incrementally maintained engine equals a from-scratch evaluation
+    /// (and a from-scratch `rebuild()`) bit for bit.
+    #[test]
+    fn engine_equals_rebuild_after_any_move_sequence(
+        edges in digraph_strategy(),
+        moves in moves_strategy(),
+    ) {
+        let g = build_digraph(&edges);
+        let d = NodeData::uniform(DG_N, 1.0, 1.0, 1.0);
+        let mut seeds = vec![NodeId(0)];
+        let mut coupons = vec![0u32; DG_N];
+        coupons[0] = (g.out_degree(NodeId(0)) as u32).min(1);
+        let mut engine = SpreadEngine::new(&g, &d, &seeds, &coupons);
+        assert_engine_is_fresh(&engine, &g, &d);
+        for &(op, node, amount) in &moves {
+            let v = NodeId(node);
+            match op {
+                0 => {
+                    // Mirror Deployment::add_coupons' capping.
+                    let cap = g.out_degree(v) as u32;
+                    let cur = coupons[v.index()];
+                    let add = amount.min(cap.saturating_sub(cur));
+                    coupons[v.index()] = cur + add;
+                    let (added, _) = engine.add_coupons(v, amount);
+                    prop_assert_eq!(added, add, "cap mismatch on coupon grant");
+                }
+                1 => {
+                    if !seeds.contains(&v) {
+                        seeds.push(v);
+                    }
+                    let cap = g.out_degree(v) as u32;
+                    let cur = coupons[v.index()];
+                    coupons[v.index()] = cur + amount.min(cap.saturating_sub(cur));
+                    engine.add_seed_package(v, amount);
+                }
+                2 => {
+                    let take = amount.min(coupons[v.index()]);
+                    coupons[v.index()] -= take;
+                    let (removed, _) = engine.remove_coupons(v, amount);
+                    prop_assert_eq!(removed, take, "cap mismatch on retrieval");
+                }
+                _ => {
+                    // Marginal probes must never perturb the state.
+                    let mut scratch = DeltaScratch::default();
+                    let _ = engine.coupon_add_delta(v, &mut scratch);
+                    let _ = engine.coupon_removal_delta(v, &mut scratch);
+                }
+            }
+            prop_assert_eq!(engine.seeds(), &seeds[..]);
+            prop_assert_eq!(engine.coupons(), &coupons[..]);
+            assert_engine_is_fresh(&engine, &g, &d);
+        }
+        // The escape hatch is a bitwise no-op on a maintained engine.
+        let before = engine.to_state();
+        engine.rebuild();
+        assert_engine_is_fresh(&engine, &g, &d);
+        prop_assert_eq!(&before.order, &engine.to_state().order);
+        prop_assert_eq!(
+            before.expected_benefit.to_bits(),
+            engine.expected_benefit().to_bits()
+        );
+    }
+
+    /// O(deg) engine probes equal the O(deg·k) `SpreadState` deltas bit for
+    /// bit — on cyclic graphs, for holders and fresh candidates alike.
+    #[test]
+    fn engine_probes_match_spread_state_deltas(edges in digraph_strategy(), k_cap in 0u32..3) {
+        let g = build_digraph(&edges);
+        let d = NodeData::uniform(DG_N, 1.0, 1.0, 1.0);
+        let coupons: Vec<u32> = (0..DG_N)
+            .map(|i| (g.out_degree(NodeId(i as u32)) as u32).min(k_cap))
+            .collect();
+        let engine = SpreadEngine::new(&g, &d, &[NodeId(0)], &coupons);
+        let state = SpreadState::evaluate(&g, &d, &[NodeId(0)], &coupons);
+        let mut scratch = DeltaScratch::default();
+        for i in 0..DG_N {
+            let v = NodeId(i as u32);
+            let (db_e, dc_e) = engine.coupon_add_delta(v, &mut scratch);
+            let (db_s, dc_s) = state.coupon_delta(&g, &d, v, 1);
+            prop_assert_eq!(db_e.to_bits(), db_s.to_bits(), "add ΔB at node {}", i);
+            prop_assert_eq!(dc_e.to_bits(), dc_s.to_bits(), "add ΔC at node {}", i);
+            let (rb_e, rc_e) = engine.coupon_removal_delta(v, &mut scratch);
+            let (rb_s, rc_s) = state.coupon_removal_delta(&g, &d, v);
+            prop_assert_eq!(rb_e.to_bits(), rb_s.to_bits(), "removal ΔB at node {}", i);
+            prop_assert_eq!(rc_e.to_bits(), rc_s.to_bits(), "removal ΔC at node {}", i);
+        }
     }
 
     #[test]

@@ -324,6 +324,91 @@ fn binary_loaded_graph_byte_matches_text_loaded_run() {
     }
 }
 
+/// The incremental spread engine is an optimization, not a semantic
+/// change: the lazy-greedy engine-backed ID phase must match the seed
+/// implementation (exhaustive rescan + from-scratch `SpreadState`
+/// re-evaluation per move) decision-for-decision and bit-for-bit, and the
+/// CSV cells a fig6-style run would write from either deployment must be
+/// byte-identical at pool sizes 1 and 2.
+#[test]
+fn incremental_engine_matches_reference_csv_at_pinned_pool_sizes() {
+    use s3crm_core::id_phase::{
+        investment_deployment, investment_deployment_reference, ExploreTracker,
+    };
+
+    for (profile, seed) in [
+        (DatasetProfile::Facebook, 19u64),
+        (DatasetProfile::Epinions, 5u64),
+    ] {
+        let inst = profile.generate(0.02, seed).expect("generation");
+        let n = inst.graph.node_count();
+
+        let mut t_engine = ExploreTracker::new(n);
+        let mut t_ref = ExploreTracker::new(n);
+        let a = investment_deployment(&inst.graph, &inst.data, inst.budget, &mut t_engine, 200_000);
+        let b = investment_deployment_reference(
+            &inst.graph,
+            &inst.data,
+            inst.budget,
+            &mut t_ref,
+            200_000,
+        );
+        assert_eq!(
+            a.deployment, b.deployment,
+            "{profile:?}: engine and reference D* diverged"
+        );
+        assert_eq!(a.iterations, b.iterations, "{profile:?}: move counts");
+        assert_eq!(
+            t_engine.count(),
+            t_ref.count(),
+            "{profile:?}: explored sets diverged (Fig. 9 ratio would drift)"
+        );
+        assert_eq!(a.objective.rate.to_bits(), b.objective.rate.to_bits());
+        assert_eq!(a.objective.benefit.to_bits(), b.objective.benefit.to_bits());
+        assert_eq!(a.objective.sc_cost.to_bits(), b.objective.sc_cost.to_bits());
+        assert_eq!(a.snapshots.len(), b.snapshots.len(), "{profile:?}");
+        for (sa, sb) in a.snapshots.iter().zip(b.snapshots.iter()) {
+            assert_eq!(sa.deployment, sb.deployment, "{profile:?}: snapshot");
+            assert_eq!(
+                sa.objective.rate.to_bits(),
+                sb.objective.rate.to_bits(),
+                "{profile:?}: snapshot objective"
+            );
+        }
+
+        // Fig6-style CSV cells from the full engine-backed pipeline must be
+        // byte-identical across pinned pool sizes, and identical whether
+        // the scored deployment came from the engine or the reference path.
+        let csv_cells = |dep: &s3crm_core::Deployment, pool: &ThreadPool| {
+            let cache = WorldCache::sample_with_pool(&inst.graph, 96, 23, pool);
+            let ev = MonteCarloEvaluator::with_pool(&inst.graph, &inst.data, &cache, pool);
+            let stats = ev.simulate(&dep.seeds, &dep.coupons);
+            format!(
+                "{},{},{},{}",
+                stats.expected_benefit,
+                stats.mean_redeemed_sc_cost,
+                stats.mean_activated,
+                stats.mean_farthest_hop
+            )
+        };
+        let full = s3ca(&inst.graph, &inst.data, inst.budget, &S3caConfig::default());
+        let mut rows = Vec::new();
+        for threads in [1usize, 2] {
+            let pool = ThreadPool::new(threads);
+            assert_eq!(
+                csv_cells(&a.deployment, &pool),
+                csv_cells(&b.deployment, &pool),
+                "{profile:?}: engine-vs-reference CSV drift at {threads} workers"
+            );
+            rows.push(csv_cells(&full.deployment, &pool));
+        }
+        assert_eq!(
+            rows[0], rows[1],
+            "{profile:?}: pipeline CSV drifted between pool sizes 1 and 2"
+        );
+    }
+}
+
 /// Different seeds must actually change the generated instance — guards
 /// against a generator that silently ignores its seed, which would make
 /// the two tests above vacuous.
