@@ -19,7 +19,7 @@
 use crate::common::{deployment_with_strategy, seed_size_sweep, value_of};
 use crate::strategy::CouponStrategy;
 use osn_graph::{CsrGraph, NodeData, NodeId};
-use osn_propagation::world::WorldCache;
+use osn_propagation::world::{WorldCache, WorldRef};
 use osn_propagation::{DeploymentRef, MonteCarloEvaluator};
 use s3crm_core::deployment::Deployment;
 use std::cmp::Ordering;
@@ -107,22 +107,28 @@ pub fn greedy_seed_ranking_on(
     let unlimited: Vec<u32> = graph.nodes().map(|v| graph.out_degree(v) as u32).collect();
     let mut active: Vec<Vec<bool>> = vec![vec![false; n]; cache.len()];
 
-    // Marginal gain of `v` against the current per-world active sets.
-    let marginal = |v: NodeId, active: &[Vec<bool>]| -> f64 {
+    // Marginal gain of `v` against the current per-world active sets. The
+    // caller-supplied decode buffer is reused across the world loop (and,
+    // in the serial CELF loop below, across candidate re-scores); the BFS
+    // touches only live out-edges.
+    let marginal = |v: NodeId, active: &[Vec<bool>], buf: &mut Vec<u32>| -> f64 {
         let mut total = 0usize;
         for (w, act) in active.iter().enumerate() {
             if act[v.index()] {
                 continue;
             }
-            total += newly_reached(graph, v, &unlimited, cache, w, act);
+            let world = cache.world_into(w, buf);
+            total += newly_reached(graph, v, &unlimited, world, act);
         }
         total as f64 / cache.len().max(1) as f64
     };
 
     // Round 0 touches every candidate — fan it out on the shared pool.
     // Gains land in index-order slots, so the heap (and thus the ranking)
-    // is identical at any worker count.
-    let gains: Vec<f64> = workers.map_indexed(pool.len(), |i| marginal(pool[i], &active));
+    // is identical at any worker count. (The closure must stay `Fn` for
+    // the fan-out, so each task owns its buffer.)
+    let gains: Vec<f64> =
+        workers.map_indexed(pool.len(), |i| marginal(pool[i], &active, &mut Vec::new()));
     let mut heap: BinaryHeap<CelfEntry> = pool
         .iter()
         .zip(gains)
@@ -135,6 +141,7 @@ pub fn greedy_seed_ranking_on(
 
     let mut ranking = Vec::with_capacity(max_seeds);
     let mut round = 0usize;
+    let mut rescore_buf: Vec<u32> = Vec::new();
     while ranking.len() < max_seeds {
         let Some(top) = heap.pop() else { break };
         if top.round == round {
@@ -143,7 +150,7 @@ pub fn greedy_seed_ranking_on(
             ranking.push(top.node);
             round += 1;
         } else {
-            let gain = marginal(top.node, &active);
+            let gain = marginal(top.node, &active, &mut rescore_buf);
             heap.push(CelfEntry {
                 gain,
                 node: top.node,
@@ -154,40 +161,38 @@ pub fn greedy_seed_ranking_on(
     ranking
 }
 
-/// Count nodes newly reached from `v` in world `w` (plain IC), without
-/// mutating the activation sets.
+/// Count nodes newly reached from `v` in one decoded world (plain IC),
+/// without mutating the activation sets.
 fn newly_reached(
     graph: &CsrGraph,
     v: NodeId,
     unlimited: &[u32],
-    cache: &WorldCache,
-    w: usize,
+    world: WorldRef<'_>,
     active: &[bool],
 ) -> usize {
     // Cascade from {v}; already-active nodes block expansion exactly as in
     // the incremental greedy.
-    let world = cache.world(w);
+    let targets = graph.edge_targets_flat();
     let mut frontier = vec![v];
     let mut seen = std::collections::HashSet::new();
     seen.insert(v);
     let mut count = 1usize;
     while let Some(u) = frontier.pop() {
-        let base = graph.out_edge_ids(u).start as usize;
+        let ids = graph.out_edge_ids(u);
         let mut remaining = unlimited[u.index()];
-        for (rank, &t) in graph.out_targets(u).iter().enumerate() {
-            if remaining == 0 {
-                break;
-            }
-            if active[t.index()] || seen.contains(&t) {
-                continue;
-            }
-            if world.get(base + rank) {
+        if remaining == 0 {
+            continue;
+        }
+        world.for_live_out(ids.start, ids.end, |e| {
+            let t = targets[e as usize];
+            if !active[t.index()] && !seen.contains(&t) {
                 seen.insert(t);
                 remaining -= 1;
                 count += 1;
                 frontier.push(t);
             }
-        }
+            remaining > 0
+        });
     }
     count
 }
@@ -199,29 +204,30 @@ fn commit_seed(
     cache: &WorldCache,
     active: &mut [Vec<bool>],
 ) {
+    let targets = graph.edge_targets_flat();
+    let mut buf = Vec::new();
     for (w, act) in active.iter_mut().enumerate() {
-        let world = cache.world(w);
         if act[v.index()] {
             continue;
         }
+        let world = cache.world_into(w, &mut buf);
         act[v.index()] = true;
         let mut frontier = vec![v];
         while let Some(u) = frontier.pop() {
-            let base = graph.out_edge_ids(u).start as usize;
+            let ids = graph.out_edge_ids(u);
             let mut remaining = unlimited[u.index()];
-            for (rank, &t) in graph.out_targets(u).iter().enumerate() {
-                if remaining == 0 {
-                    break;
-                }
-                if act[t.index()] {
-                    continue;
-                }
-                if world.get(base + rank) {
+            if remaining == 0 {
+                continue;
+            }
+            world.for_live_out(ids.start, ids.end, |e| {
+                let t = targets[e as usize];
+                if !act[t.index()] {
                     act[t.index()] = true;
                     remaining -= 1;
                     frontier.push(t);
                 }
-            }
+                remaining > 0
+            });
         }
     }
 }

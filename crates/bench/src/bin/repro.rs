@@ -67,6 +67,19 @@ fn parse_args() -> Args {
                 // repeated flag is an error rather than silently ignored.
                 osn_pool::init_global(threads).expect("duplicate --pool-size: pool already built");
             }
+            "--world-storage" => {
+                // Representation-only escape hatch: both storages hold the
+                // same skip-sampled live sets and produce byte-identical
+                // CSVs (CI diffs them); dense exists for memory comparisons
+                // and as a fallback while the sparse path matures.
+                let v = it.next().expect("--world-storage needs dense|sparse");
+                let storage = match v.as_str() {
+                    "dense" => osn_propagation::WorldStorage::Dense,
+                    "sparse" => osn_propagation::WorldStorage::Sparse,
+                    other => panic!("--world-storage must be dense or sparse, got {other}"),
+                };
+                osn_propagation::world::set_default_world_storage(storage);
+            }
             "--out" => out_dir = PathBuf::from(it.next().expect("--out needs a path")),
             "--data" => data = Some(PathBuf::from(it.next().expect("--data needs a path"))),
             "--cache" => {
@@ -75,7 +88,8 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: repro [--full|--micro] [--scale X] [--worlds N] [--seed N] \
-                     [--pool-size N] [--out DIR] [--cache DIR] [--data PATH] \
+                     [--pool-size N] [--world-storage dense|sparse] [--out DIR] \
+                     [--cache DIR] [--data PATH] \
                      [fig6 fig7 fig8 fig9 fig10 table3 table4 ablation extensions data]...\n\
                      \x20      repro convert INPUT OUTPUT   # re-encode a dataset as .oscg"
                 );
@@ -147,11 +161,15 @@ fn main() {
     }
     let e = &args.effort;
     println!(
-        "# S3CRM reproduction harness — scale x{}, {} eval worlds, seed {}, {} pool workers",
+        "# S3CRM reproduction harness — scale x{}, {} eval worlds, seed {}, {} pool workers, {} world storage",
         e.graph_scale,
         e.eval_worlds,
         e.seed,
-        osn_pool::global().num_threads()
+        osn_pool::global().num_threads(),
+        match osn_propagation::world::default_world_storage() {
+            osn_propagation::WorldStorage::Sparse => "sparse",
+            osn_propagation::WorldStorage::Dense => "dense",
+        }
     );
     println!("# CSV output: {}\n", args.out_dir.display());
 

@@ -42,6 +42,9 @@ pub fn vs_network_size(sizes: &[usize], binv: f64, effort: &Effort) -> Table {
             "eval_full_rebuilds",
             "eval_incremental_updates",
             "eval_lazy_rescores",
+            "world_cache_bytes",
+            "world_live_density",
+            "world_sampling_us",
         ],
     );
     for &n in sizes {
@@ -55,6 +58,9 @@ pub fn vs_network_size(sizes: &[usize], binv: f64, effort: &Effort) -> Table {
             result.telemetry.eval_full_rebuilds.to_string(),
             result.telemetry.eval_incremental_updates.to_string(),
             result.telemetry.eval_lazy_rescores.to_string(),
+            result.telemetry.world_cache_bytes.to_string(),
+            num(result.telemetry.world_live_density),
+            result.telemetry.world_sampling_micros.to_string(),
         ]);
     }
     table
@@ -72,6 +78,9 @@ pub fn vs_budget(n: usize, budgets: &[f64], effort: &Effort) -> Table {
             "eval_full_rebuilds",
             "eval_incremental_updates",
             "eval_lazy_rescores",
+            "world_cache_bytes",
+            "world_live_density",
+            "world_sampling_us",
         ],
     );
     for &binv in budgets {
@@ -83,6 +92,9 @@ pub fn vs_budget(n: usize, budgets: &[f64], effort: &Effort) -> Table {
             result.telemetry.eval_full_rebuilds.to_string(),
             result.telemetry.eval_incremental_updates.to_string(),
             result.telemetry.eval_lazy_rescores.to_string(),
+            result.telemetry.world_cache_bytes.to_string(),
+            num(result.telemetry.world_live_density),
+            result.telemetry.world_sampling_micros.to_string(),
         ]);
     }
     table

@@ -85,6 +85,13 @@ pub struct Telemetry {
     /// exhaustive-rescan reference would pay one per candidate per
     /// iteration).
     pub eval_lazy_rescores: u64,
+    /// Resident bytes of the snapshot-selection world cache (0 when the MC
+    /// re-ranking was skipped) — the world-storage memory telemetry.
+    pub world_cache_bytes: u64,
+    /// Mean live-edge density of the sampled worlds.
+    pub world_live_density: f64,
+    /// Wall-clock microseconds spent sampling the world cache.
+    pub world_sampling_micros: u64,
 }
 
 impl Telemetry {
@@ -137,6 +144,9 @@ pub fn s3ca(graph: &CsrGraph, data: &NodeData, binv: f64, config: &S3caConfig) -
             config.snapshot_worlds,
             config.rng_seed,
         );
+        telemetry.world_cache_bytes = cache.resident_bytes();
+        telemetry.world_live_density = cache.live_density();
+        telemetry.world_sampling_micros = cache.sampling_micros();
         let ev = osn_propagation::MonteCarloEvaluator::new(graph, data, &cache);
         let feasible: Vec<(&Deployment, ObjectiveValue)> = id
             .snapshots

@@ -262,6 +262,15 @@ impl CsrGraph {
         &self.probs
     }
 
+    /// Flat forward adjacency offsets (length `n + 1`): node `v`'s out-edge
+    /// ids are `offsets[v]..offsets[v + 1]`. Exposed so per-world
+    /// live-adjacency indexing can walk all nodes in one pass without a
+    /// per-node accessor call.
+    #[inline]
+    pub fn out_offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
     /// All edge targets, indexed by stable edge id (parallel to
     /// [`edge_probs_flat`](Self::edge_probs_flat)).
     #[inline]

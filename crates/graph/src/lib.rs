@@ -27,6 +27,8 @@
 //!   validate the synthetic dataset profiles against the paper's Table II.
 //! * [`io`] — plain-text edge-list reading/writing so real SNAP-format data
 //!   can be substituted for the synthetic profiles when available.
+//! * [`prob_index`] — edges bucketed by probability exponent, the reusable
+//!   substrate for geometric skip sampling of Monte-Carlo live-edge worlds.
 //! * [`binary`] — the versioned `.oscg` binary CSR format: graphs (and
 //!   optional workload attributes) serialize to a checksummed little-endian
 //!   file that loads back through a zero-copy memory map, skipping the O(E)
@@ -55,6 +57,7 @@ pub mod error;
 pub mod ids;
 pub mod io;
 pub mod node_data;
+pub mod prob_index;
 pub mod shortest_path;
 pub mod stats;
 pub mod storage;
@@ -65,3 +68,4 @@ pub use csr::CsrGraph;
 pub use error::GraphError;
 pub use ids::NodeId;
 pub use node_data::NodeData;
+pub use prob_index::{ProbBucket, ProbBucketIndex};

@@ -20,10 +20,11 @@ use std::sync::Arc;
 /// # Safety
 ///
 /// Implementors must be `#[repr(transparent)]` over (or literally be) one of
-/// the primitive little-endian section scalars (`u32`, `u64`, `f64`) so that
-/// `&[u8]` of suitable length and alignment can be cast to `&[Self]`.
+/// the primitive little-endian section scalars (`u8`, `u32`, `u64`, `f64`)
+/// so that `&[u8]` of suitable length and alignment can be cast to `&[Self]`.
 pub unsafe trait Pod: Copy + Send + Sync + 'static {}
 
+unsafe impl Pod for u8 {}
 unsafe impl Pod for u32 {}
 unsafe impl Pod for u64 {}
 unsafe impl Pod for f64 {}

@@ -54,6 +54,67 @@ impl BitVec {
     pub fn count_ones(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
+
+    /// Heap bytes held by the bit words.
+    pub fn resident_bytes(&self) -> usize {
+        self.words.len() * std::mem::size_of::<u64>()
+    }
+
+    /// Clear every bit (one `memset` over the words).
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Extract every set bit position in ascending order into `out` (as
+    /// `u32` indices), clearing the bitset as it drains — one zero-word-
+    /// skipping pass. How the skip sampler turns its scratch bitmap into a
+    /// sorted live-edge list without a comparison sort.
+    pub fn drain_set_into(&mut self, out: &mut Vec<u32>) {
+        for (w, word) in self.words.iter_mut().enumerate() {
+            let mut bits = *word;
+            if bits == 0 {
+                continue;
+            }
+            *word = 0;
+            let base = (w << 6) as u32;
+            while bits != 0 {
+                out.push(base + bits.trailing_zeros());
+                bits &= bits - 1;
+            }
+        }
+    }
+
+    /// Visit the set bit positions in `[lo, hi)` in ascending order,
+    /// stopping early when `f` returns `false`. Whole zero words are
+    /// skipped, so sparse ranges cost one word test per 64 bits instead of
+    /// one `get` per bit.
+    pub fn for_each_set_in(&self, lo: usize, hi: usize, mut f: impl FnMut(usize) -> bool) {
+        debug_assert!(lo <= hi && hi <= self.len);
+        if lo >= hi {
+            return;
+        }
+        let first_w = lo >> 6;
+        let last_w = (hi - 1) >> 6;
+        for w in first_w..=last_w {
+            let mut word = self.words[w];
+            if w == first_w {
+                word &= !0u64 << (lo & 63);
+            }
+            if w == last_w {
+                let top = hi & 63;
+                if top != 0 {
+                    word &= (1u64 << top) - 1;
+                }
+            }
+            while word != 0 {
+                let b = word.trailing_zeros() as usize;
+                if !f((w << 6) | b) {
+                    return;
+                }
+                word &= word - 1;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -88,5 +149,56 @@ mod tests {
         b.set(63, true);
         assert!(!b.get(62));
         assert!(!b.get(64));
+    }
+
+    #[test]
+    fn range_iteration_matches_per_bit_scan() {
+        let mut b = BitVec::zeros(200);
+        for i in [0, 1, 63, 64, 65, 127, 128, 130, 199] {
+            b.set(i, true);
+        }
+        for (lo, hi) in [
+            (0, 200),
+            (1, 199),
+            (63, 65),
+            (64, 128),
+            (130, 130),
+            (66, 127),
+        ] {
+            let mut seen = Vec::new();
+            b.for_each_set_in(lo, hi, |i| {
+                seen.push(i);
+                true
+            });
+            let want: Vec<usize> = (lo..hi).filter(|&i| b.get(i)).collect();
+            assert_eq!(seen, want, "range [{lo}, {hi})");
+        }
+    }
+
+    #[test]
+    fn drain_extracts_ascending_and_clears() {
+        let mut b = BitVec::zeros(300);
+        let set = [0usize, 63, 64, 200, 299];
+        for &i in &set {
+            b.set(i, true);
+        }
+        let mut out = Vec::new();
+        b.drain_set_into(&mut out);
+        assert_eq!(out, set.iter().map(|&i| i as u32).collect::<Vec<_>>());
+        assert_eq!(b.count_ones(), 0, "drain must clear the bitset");
+    }
+
+    #[test]
+    fn range_iteration_stops_on_false() {
+        let mut b = BitVec::zeros(100);
+        for i in 0..100 {
+            b.set(i, true);
+        }
+        let mut seen = 0;
+        b.for_each_set_in(10, 90, |_| {
+            seen += 1;
+            seen < 3
+        });
+        assert_eq!(seen, 3);
     }
 }

@@ -27,7 +27,10 @@
 //!   deterministic coupon-constrained reachability inside one world. World
 //!   construction only touches the graph's flat edge sections, so it runs
 //!   unchanged — and bit-identically — over graphs memory-mapped from
-//!   `.oscg` files (`osn_graph::binary`) as over in-memory builds.
+//!   `.oscg` files (`osn_graph::binary`) as over in-memory builds. Worlds
+//!   are **skip-sampled** (geometric gaps over `osn_graph`'s probability
+//!   buckets) and stored **sparse** by default; see "World storage and
+//!   sampling" below.
 //! * [`spread`] — the analytic evaluator: exact expected benefit on forests
 //!   (all of the paper's worked examples), a documented independent-parent
 //!   approximation elsewhere; exposes the incremental quantities S3CA's
@@ -77,6 +80,41 @@
 //! pins the downstream consequence: the engine-backed greedy phases make
 //! byte-identical CSVs.
 //!
+//! ## World storage and sampling
+//!
+//! [`WorldCache::sample`] generates worlds by **geometric skip sampling**:
+//! edges are grouped into probability buckets
+//! ([`osn_graph::prob_index::ProbBucketIndex`], one bucket per binary
+//! exponent), and within a bucket the sampler jumps `Geometric(p_max)` gaps
+//! between candidate live edges, thinning each candidate to its exact edge
+//! probability — `O(live)` RNG draws per world instead of `O(m)`. Worlds
+//! are held as a world-major CSR of ascending live edge ids, gap-encoded as
+//! `u8` deltas in `Section`-backed arrays ([`world::WorldStorage::Sparse`],
+//! the default); `--world-storage dense` (or
+//! [`world::set_default_world_storage`]) materializes the same live sets
+//! as one-bit-per-edge [`bits::BitVec`]s instead. Storage is representation
+//! only: CI diffs experiment CSVs between the two forms byte for byte.
+//!
+//! The cascade kernels consume a [`world::WorldRef`] view: evaluation
+//! decodes each sparse world once into a reusable per-worker buffer, then
+//! every candidate in the batch cascades against that decoded live
+//! adjacency through [`world::WorldRef::for_live_out`] — a binary-search
+//! cursor into the world's live list (sparse) or a word-skipping bit scan
+//! (dense). Frontier rounds are collected in a word-level bitset and
+//! drained in ascending node-id order, which makes the cascade outcome
+//! independent of seed ordering.
+//!
+//! **RNG-stream contract.** World `i` is always RNG stream `i` (the world
+//! index is mixed into the seed), so caches never depend on the pool size.
+//! The skip sampler consumes its per-world stream in a different order than
+//! the original per-edge Bernoulli sampler, so switching the default was a
+//! **one-time re-bless** of every seed-pinned expectation: the worlds are
+//! equal in distribution (statistical-equivalence proptests pin per-edge
+//! live frequencies against the retained
+//! [`WorldCache::sample_dense_reference`] stream) but not bitwise. All
+//! determinism pins below — bit-identical across pool sizes 1/2/N, across
+//! storages, across text/binary graph loads — hold for the new stream.
+//!
 //! ## Parallel execution and the determinism contract
 //!
 //! All parallelism in this crate runs on a shared [`osn_pool`]
@@ -125,4 +163,4 @@ pub use evaluator::{AnalyticEvaluator, BenefitEvaluator, DeploymentRef};
 pub use metrics::RedemptionReport;
 pub use monte_carlo::{MonteCarloEvaluator, SimulationStats};
 pub use spread::SpreadState;
-pub use world::WorldCache;
+pub use world::{WorldCache, WorldRef, WorldStorage};

@@ -16,40 +16,55 @@
 //! Estimates are bit-identical across machines with any core count and
 //! across the serial and pooled paths; `tests/determinism.rs` pins this.
 //!
-//! ## Batched evaluation
+//! ## Batched, cache-blocked evaluation
 //!
 //! [`MonteCarloEvaluator::simulate_batch`] evaluates many candidate
-//! deployments in **one pass over the world cache**: each part task runs
-//! every candidate's cascade against a world before moving to the next
-//! world, so the world's live-edge bitmap (and the graph adjacency it
+//! deployments in **one pass over the world cache**, processing worlds in
+//! fixed [`PART_WORLDS`]-world blocks per pool worker: each part task
+//! decodes a world's sparse live-edge list once into a reusable per-worker
+//! buffer and runs every candidate's cascade against it before moving to
+//! the next world, so the decoded live adjacency (and the graph arrays it
 //! indexes) stays hot in cache across the whole batch. Greedy loops that
 //! used to issue N serial `simulate` calls submit one N-candidate batch
 //! instead. Per candidate, the part grouping above is unchanged, so batched
 //! results are bit-identical to per-candidate calls.
 
+use crate::bits::BitVec;
 use crate::evaluator::{BenefitEvaluator, DeploymentRef};
-use crate::reach::{world_cascade, CascadeScratch, WorldOutcome};
-use crate::world::WorldCache;
+use crate::reach::{world_cascade, world_cascade_visit, CascadeScratch, WorldOutcome};
+use crate::world::{WorldCache, WorldRef};
 use osn_graph::{CsrGraph, NodeData, NodeId};
 use osn_pool::ThreadPool;
 use std::cell::RefCell;
 
 thread_local! {
-    /// Worker-local cascade scratch, reused across part tasks and calls —
-    /// one `O(node_count)` allocation per worker thread (and per caller
-    /// thread on the inline path), not one per 32-world part. Scratch
-    /// contents never influence results (stamp-based marking), so reuse
-    /// cannot affect the determinism contract.
-    static SCRATCH: RefCell<CascadeScratch> = RefCell::new(CascadeScratch::new(0));
+    /// Worker-local cascade scratch plus world-decode buffers (live-id
+    /// vector and materialization bitmap), reused across part tasks and
+    /// calls — one `O(node_count)`/`O(edge_count)` arena per worker thread
+    /// (and per caller thread on the inline path), not one per 32-world
+    /// part or per world. Scratch contents never influence results
+    /// (stamp-based marking; the decode buffers are overwritten per
+    /// world), so reuse cannot affect the determinism contract.
+    static SCRATCH: RefCell<(CascadeScratch, Vec<u32>, BitVec)> =
+        RefCell::new((CascadeScratch::new(0), Vec::new(), BitVec::zeros(0)));
 }
 
-fn with_scratch<R>(nodes: usize, f: impl FnOnce(&mut CascadeScratch) -> R) -> R {
+fn with_scratch<R>(
+    nodes: usize,
+    f: impl FnOnce(&mut CascadeScratch, &mut Vec<u32>, &mut BitVec) -> R,
+) -> R {
     SCRATCH.with(|s| {
         let mut s = s.borrow_mut();
-        s.ensure_nodes(nodes);
-        f(&mut s)
+        let (scratch, decode, bits) = &mut *s;
+        scratch.ensure_nodes(nodes);
+        f(scratch, decode, bits)
     })
 }
+
+/// Batch size from which materializing a sparse world into the scratch
+/// bitmap (then running the word-skipping dense kernel) beats per-node
+/// binary searches: the `O(live)` set/clear amortizes over the batch.
+const MATERIALIZE_BATCH: usize = 4;
 
 /// Worlds per summation part. Fixing the part size (rather than deriving it
 /// from the worker count) is what makes estimates machine-independent.
@@ -138,12 +153,14 @@ impl<'a> MonteCarloEvaluator<'a> {
 
     /// Sum one part (worlds `lo..hi`) for every candidate, worlds in order,
     /// into `part` (cleared first; reusable across parts on one thread).
+    /// Each world is decoded once into the worker's reusable buffer and the
+    /// whole batch cascades against that decoded live adjacency.
     fn fold_part(&self, batch: &[DeploymentRef<'_>], lo: usize, hi: usize, part: &mut Vec<Totals>) {
         part.clear();
         part.resize(batch.len(), Totals::default());
-        with_scratch(self.graph.node_count(), |scratch| {
-            for w in lo..hi {
-                let world = self.cache.world(w);
+        let m = self.graph.edge_count();
+        with_scratch(self.graph.node_count(), |scratch, decode, bits| {
+            let mut run_batch = |world: WorldRef<'_>, scratch: &mut CascadeScratch| {
                 for (acc, dep) in part.iter_mut().zip(batch) {
                     acc.add(world_cascade(
                         self.graph,
@@ -154,6 +171,32 @@ impl<'a> MonteCarloEvaluator<'a> {
                         scratch,
                     ));
                 }
+            };
+            for w in lo..hi {
+                // With enough candidates, materialize each sparse world
+                // once into the worker's scratch bitmap (a fused
+                // gap-decode, no intermediate id list) so the whole batch
+                // runs the word-skipping dense kernel; otherwise decode to
+                // the id list and use the binary-search cursor. Identical
+                // results either way — the view never changes the cascade,
+                // only its edge traversal.
+                if batch.len() >= MATERIALIZE_BATCH {
+                    if bits.len() < m {
+                        *bits = BitVec::zeros(m);
+                    }
+                    // Clear BEFORE filling, not after the batch: the
+                    // thread-local bitmap survives a panicking cascade (the
+                    // pool re-throws at the scope but keeps the worker), so
+                    // a post-run clear could leak one world's bits into
+                    // every later evaluation on that worker.
+                    bits.clear();
+                    if self.cache.world_fill_bits(w, bits) {
+                        run_batch(WorldRef::Dense(bits), scratch);
+                        continue;
+                    }
+                }
+                let world = self.cache.world_into(w, decode);
+                run_batch(world, scratch);
             }
         });
     }
@@ -252,18 +295,25 @@ impl BenefitEvaluator for MonteCarloEvaluator<'_> {
 
     fn activation_probabilities(&self, seeds: &[NodeId], coupons: &[u32]) -> Vec<f64> {
         // Frequency of activation per node across worlds (serial: only used
-        // for reports and tests, not in algorithm hot paths).
+        // for reports and tests, not in algorithm hot paths). Runs the one
+        // shared cascade kernel with a counting visitor.
         let n = self.graph.node_count();
         let mut counts = vec![0u32; n];
-        let mut active = vec![false; n];
+        let mut scratch = CascadeScratch::new(n);
+        let mut decode = Vec::new();
         for w in 0..self.cache.len() {
-            active.fill(false);
-            mark_world_active(self.graph, seeds, coupons, self.cache, w, &mut active);
-            for (c, &a) in counts.iter_mut().zip(active.iter()) {
-                if a {
-                    *c += 1;
-                }
-            }
+            let world = self.cache.world_into(w, &mut decode);
+            world_cascade_visit(
+                self.graph,
+                self.data,
+                seeds,
+                coupons,
+                world,
+                &mut scratch,
+                |v| {
+                    counts[v.index()] += 1;
+                },
+            );
         }
         let r = self.cache.len().max(1) as f64;
         counts.iter().map(|&c| c as f64 / r).collect()
@@ -275,53 +325,6 @@ impl BenefitEvaluator for MonteCarloEvaluator<'_> {
 
     fn simulate_batch(&self, batch: &[DeploymentRef<'_>]) -> Vec<SimulationStats> {
         MonteCarloEvaluator::simulate_batch(self, batch)
-    }
-}
-
-/// Standalone world-activation marking (mirror of
-/// [`world_cascade`](crate::reach::world_cascade) that exposes the full
-/// activation set; kept separate so the hot aggregate path stays
-/// allocation-free).
-fn mark_world_active(
-    graph: &CsrGraph,
-    seeds: &[NodeId],
-    coupons: &[u32],
-    cache: &WorldCache,
-    world: usize,
-    active: &mut [bool],
-) {
-    let w = cache.world(world);
-    let mut frontier: Vec<NodeId> = Vec::new();
-    for &s in seeds {
-        if !active[s.index()] {
-            active[s.index()] = true;
-            frontier.push(s);
-        }
-    }
-    let mut next = Vec::new();
-    while !frontier.is_empty() {
-        next.clear();
-        for &u in &frontier {
-            let mut remaining = coupons[u.index()];
-            if remaining == 0 {
-                continue;
-            }
-            let base = graph.out_edge_ids(u).start as usize;
-            for (rank, &v) in graph.out_targets(u).iter().enumerate() {
-                if remaining == 0 {
-                    break;
-                }
-                if active[v.index()] {
-                    continue;
-                }
-                if w.get(base + rank) {
-                    active[v.index()] = true;
-                    remaining -= 1;
-                    next.push(v);
-                }
-            }
-        }
-        std::mem::swap(&mut frontier, &mut next);
     }
 }
 
@@ -384,12 +387,13 @@ mod tests {
         // documented 32-world part grouping.
         let pooled = ev.simulate(&[NodeId(0)], &k);
         let mut scratch = CascadeScratch::new(7);
+        let mut buf = Vec::new();
         let mut total = 0.0;
         for part in 0..2 {
             let mut sum = 0.0;
             for w in part * PART_WORLDS..(part + 1) * PART_WORLDS {
-                sum +=
-                    world_cascade(&g, &d, &[NodeId(0)], &k, cache.world(w), &mut scratch).benefit;
+                let world = cache.world_into(w, &mut buf);
+                sum += world_cascade(&g, &d, &[NodeId(0)], &k, world, &mut scratch).benefit;
             }
             total += sum;
         }
@@ -475,7 +479,15 @@ mod tests {
         let k = vec![2u32, 2, 2, 0, 0, 0, 0];
         let stats = ev.simulate(&[NodeId(0)], &k);
         let mut scratch = CascadeScratch::new(7);
-        let lone = world_cascade(&g, &d, &[NodeId(0)], &k, cache.world(0), &mut scratch);
+        let mut buf = Vec::new();
+        let lone = world_cascade(
+            &g,
+            &d,
+            &[NodeId(0)],
+            &k,
+            cache.world_into(0, &mut buf),
+            &mut scratch,
+        );
         assert_eq!(stats.expected_benefit.to_bits(), lone.benefit.to_bits());
         assert_eq!(stats.mean_activated, lone.activated as f64);
     }

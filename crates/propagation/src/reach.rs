@@ -7,8 +7,24 @@
 //! largest influence probability." The cascade below walks BFS rounds; each
 //! active node takes its live out-edges in rank order, skipping already
 //! active targets (no coupon consumed) and stopping after `k` redemptions.
+//!
+//! One kernel serves every caller: [`world_cascade`] returns the aggregate
+//! [`WorldOutcome`], and [`world_cascade_visit`] additionally reports each
+//! activated node to a visitor (how
+//! [`MonteCarloEvaluator::activation_probabilities`](crate::monte_carlo::MonteCarloEvaluator)
+//! counts per-node activations without a second cascade implementation).
+//! The kernel runs on a [`WorldRef`] — live out-edges come from the world's
+//! live-adjacency cursor ([`WorldRef::for_live_out`]), so sparse worlds
+//! touch only live edges and dense worlds skip zero words.
+//!
+//! Frontier rounds are built through a **word-level bitset**: activations
+//! set a bit, and each round drains the touched words in ascending order,
+//! so every round processes nodes in ascending node id. That order is
+//! deterministic and independent of seed order, storage, and pool size
+//! (ties for a shared target between two same-round activators resolve to
+//! the smaller activator id).
 
-use crate::bits::BitVec;
+use crate::world::WorldRef;
 use osn_graph::{CsrGraph, NodeData, NodeId};
 
 /// Reusable buffers for world cascades (one per worker thread).
@@ -17,7 +33,10 @@ pub struct CascadeScratch {
     stamp: u32,
     mark: Vec<u32>,
     frontier: Vec<NodeId>,
-    next: Vec<NodeId>,
+    /// Word-level bitset collecting the next BFS round.
+    next_bits: Vec<u64>,
+    /// Indices of words in `next_bits` with at least one bit set.
+    dirty_words: Vec<u32>,
 }
 
 impl CascadeScratch {
@@ -27,7 +46,8 @@ impl CascadeScratch {
             stamp: 0,
             mark: vec![0; n],
             frontier: Vec::new(),
-            next: Vec::new(),
+            next_bits: vec![0; n.div_ceil(64)],
+            dirty_words: Vec::new(),
         }
     }
 
@@ -45,7 +65,11 @@ impl CascadeScratch {
         } else if self.mark.len() > SHRINK_FLOOR && self.mark.len() / 4 > n {
             self.mark = vec![0; n];
             self.frontier = Vec::new();
-            self.next = Vec::new();
+            self.next_bits = Vec::new();
+            self.dirty_words = Vec::new();
+        }
+        if self.next_bits.len() < n.div_ceil(64) {
+            self.next_bits.resize(n.div_ceil(64), 0);
         }
     }
 
@@ -58,7 +82,12 @@ impl CascadeScratch {
             self.stamp = 1;
         }
         self.frontier.clear();
-        self.next.clear();
+        // A finished cascade always leaves the bitset drained; clear
+        // defensively in case a caller's visitor panicked mid-round.
+        for &w in &self.dirty_words {
+            self.next_bits[w as usize] = 0;
+        }
+        self.dirty_words.clear();
     }
 
     #[inline]
@@ -66,9 +95,33 @@ impl CascadeScratch {
         self.mark[v.index()] == self.stamp
     }
 
+    /// Mark `v` active and queue it (via the word bitset) for the next
+    /// round's frontier.
     #[inline]
     fn activate(&mut self, v: NodeId) {
         self.mark[v.index()] = self.stamp;
+        let w = v.index() >> 6;
+        if self.next_bits[w] == 0 {
+            self.dirty_words.push(w as u32);
+        }
+        self.next_bits[w] |= 1u64 << (v.index() & 63);
+    }
+
+    /// Move the queued activations into `frontier` in ascending node-id
+    /// order, clearing the bitset words as they drain.
+    fn drain_next_into_frontier(&mut self) {
+        self.dirty_words.sort_unstable();
+        for &w in &self.dirty_words {
+            let mut bits = self.next_bits[w as usize];
+            self.next_bits[w as usize] = 0;
+            let base = (w as usize) << 6;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                self.frontier.push(NodeId((base | b) as u32));
+                bits &= bits - 1;
+            }
+        }
+        self.dirty_words.clear();
     }
 }
 
@@ -91,58 +144,70 @@ pub fn world_cascade(
     data: &NodeData,
     seeds: &[NodeId],
     coupons: &[u32],
-    world: &BitVec,
+    world: WorldRef<'_>,
     scratch: &mut CascadeScratch,
 ) -> WorldOutcome {
+    world_cascade_visit(graph, data, seeds, coupons, world, scratch, |_| {})
+}
+
+/// [`world_cascade`] that additionally calls `visit` once per activated
+/// node (seeds included), in activation order.
+pub fn world_cascade_visit(
+    graph: &CsrGraph,
+    data: &NodeData,
+    seeds: &[NodeId],
+    coupons: &[u32],
+    world: WorldRef<'_>,
+    scratch: &mut CascadeScratch,
+    mut visit: impl FnMut(NodeId),
+) -> WorldOutcome {
     debug_assert_eq!(coupons.len(), graph.node_count());
-    debug_assert_eq!(world.len(), graph.edge_count());
     scratch.begin();
     let mut out = WorldOutcome::default();
+    let targets = graph.edge_targets_flat();
 
     for &s in seeds {
         if !scratch.is_active(s) {
             scratch.activate(s);
+            visit(s);
             out.benefit += data.benefit(s);
             out.activated += 1;
-            scratch.frontier.push(s);
         }
     }
+    scratch.drain_next_into_frontier();
 
     let mut hop = 0u32;
     while !scratch.frontier.is_empty() {
-        scratch.next.clear();
         // Swap out the frontier so we can mutate scratch inside the loop.
-        let mut frontier = std::mem::take(&mut scratch.frontier);
+        let frontier = std::mem::take(&mut scratch.frontier);
         for &u in &frontier {
             let mut remaining = coupons[u.index()];
             if remaining == 0 {
                 continue;
             }
-            let base = graph.out_edge_ids(u).start as usize;
-            for (rank, &v) in graph.out_targets(u).iter().enumerate() {
-                if remaining == 0 {
-                    break;
-                }
-                if scratch.is_active(v) {
-                    continue;
-                }
-                if world.get(base + rank) {
+            let ids = graph.out_edge_ids(u);
+            world.for_live_out(ids.start, ids.end, |e| {
+                let v = targets[e as usize];
+                if !scratch.is_active(v) {
                     scratch.activate(v);
+                    visit(v);
                     out.benefit += data.benefit(v);
                     out.redeemed_sc_cost += data.sc_cost(v);
                     out.activated += 1;
                     remaining -= 1;
-                    scratch.next.push(v);
                 }
-            }
+                remaining > 0
+            });
         }
-        frontier.clear();
-        scratch.frontier = frontier;
-        if !scratch.next.is_empty() {
+        // Hand the spent allocation back, then refill from the bitset.
+        let mut spent = frontier;
+        spent.clear();
+        scratch.frontier = spent;
+        scratch.drain_next_into_frontier();
+        if !scratch.frontier.is_empty() {
             hop += 1;
             out.farthest_hop = hop;
         }
-        std::mem::swap(&mut scratch.frontier, &mut scratch.next);
     }
     out
 }
@@ -150,6 +215,7 @@ pub fn world_cascade(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bits::BitVec;
     use osn_graph::GraphBuilder;
 
     fn star_world(live_ranks: &[usize]) -> (CsrGraph, NodeData, BitVec) {
@@ -168,12 +234,29 @@ mod tests {
         (g, d, w)
     }
 
+    /// The sparse twin of a dense test world.
+    fn sparse_ids(w: &BitVec) -> Vec<u32> {
+        let mut ids = Vec::new();
+        w.for_each_set_in(0, w.len(), |e| {
+            ids.push(e as u32);
+            true
+        });
+        ids
+    }
+
     #[test]
     fn rank_order_decides_coupon_recipients() {
         // All four edges live but only 2 coupons: ranks 0 and 1 win.
         let (g, d, w) = star_world(&[0, 1, 2, 3]);
         let mut scratch = CascadeScratch::new(5);
-        let out = world_cascade(&g, &d, &[NodeId(0)], &[2, 0, 0, 0, 0], &w, &mut scratch);
+        let out = world_cascade(
+            &g,
+            &d,
+            &[NodeId(0)],
+            &[2, 0, 0, 0, 0],
+            WorldRef::Dense(&w),
+            &mut scratch,
+        );
         assert_eq!(out.activated, 3);
         assert_eq!(out.redeemed_sc_cost, 2.0);
     }
@@ -183,18 +266,65 @@ mod tests {
         // Ranks 0 and 1 dead, 2 and 3 live, one coupon: rank 2 wins.
         let (g, d, w) = star_world(&[2, 3]);
         let mut scratch = CascadeScratch::new(5);
-        let out = world_cascade(&g, &d, &[NodeId(0)], &[1, 0, 0, 0, 0], &w, &mut scratch);
+        let out = world_cascade(
+            &g,
+            &d,
+            &[NodeId(0)],
+            &[1, 0, 0, 0, 0],
+            WorldRef::Dense(&w),
+            &mut scratch,
+        );
         assert_eq!(out.activated, 2);
+    }
+
+    #[test]
+    fn dense_and_sparse_views_cascade_identically() {
+        let (g, d, w) = star_world(&[0, 2, 3]);
+        let ids = sparse_ids(&w);
+        let mut scratch = CascadeScratch::new(5);
+        for coupons in [[2, 0, 0, 0, 0], [4, 0, 0, 0, 0], [0; 5]] {
+            let dense = world_cascade(
+                &g,
+                &d,
+                &[NodeId(0)],
+                &coupons,
+                WorldRef::Dense(&w),
+                &mut scratch,
+            );
+            let sparse = world_cascade(
+                &g,
+                &d,
+                &[NodeId(0)],
+                &coupons,
+                WorldRef::Sparse(&ids),
+                &mut scratch,
+            );
+            assert_eq!(dense, sparse, "coupons {coupons:?}");
+        }
     }
 
     #[test]
     fn scratch_reuse_is_clean_across_runs() {
         let (g, d, w) = star_world(&[0]);
         let mut scratch = CascadeScratch::new(5);
-        let a = world_cascade(&g, &d, &[NodeId(0)], &[4, 0, 0, 0, 0], &w, &mut scratch);
-        let b = world_cascade(&g, &d, &[NodeId(0)], &[4, 0, 0, 0, 0], &w, &mut scratch);
+        let a = world_cascade(
+            &g,
+            &d,
+            &[NodeId(0)],
+            &[4, 0, 0, 0, 0],
+            WorldRef::Dense(&w),
+            &mut scratch,
+        );
+        let b = world_cascade(
+            &g,
+            &d,
+            &[NodeId(0)],
+            &[4, 0, 0, 0, 0],
+            WorldRef::Dense(&w),
+            &mut scratch,
+        );
         assert_eq!(a, b);
-        let empty = world_cascade(&g, &d, &[], &[0; 5], &w, &mut scratch);
+        let empty = world_cascade(&g, &d, &[], &[0; 5], WorldRef::Dense(&w), &mut scratch);
         assert_eq!(empty.activated, 0);
         assert_eq!(empty.benefit, 0.0);
     }
@@ -210,7 +340,14 @@ mod tests {
         w.set(0, true);
         w.set(1, true);
         let mut scratch = CascadeScratch::new(3);
-        let out = world_cascade(&g, &d, &[NodeId(0)], &[1, 1, 0], &w, &mut scratch);
+        let out = world_cascade(
+            &g,
+            &d,
+            &[NodeId(0)],
+            &[1, 1, 0],
+            WorldRef::Dense(&w),
+            &mut scratch,
+        );
         assert_eq!(out.farthest_hop, 2);
         assert_eq!(out.activated, 3);
     }
@@ -232,10 +369,68 @@ mod tests {
             &d,
             &[NodeId(0), NodeId(1)],
             &[1, 0, 0],
-            &w,
+            WorldRef::Dense(&w),
             &mut scratch,
         );
         assert_eq!(out.activated, 3, "coupon must reach node 2");
         assert_eq!(out.redeemed_sc_cost, 1.0);
+    }
+
+    #[test]
+    fn visitor_sees_every_activation_once() {
+        let (g, d, w) = star_world(&[0, 1, 2, 3]);
+        let mut scratch = CascadeScratch::new(5);
+        let mut seen = Vec::new();
+        let out = world_cascade_visit(
+            &g,
+            &d,
+            &[NodeId(0), NodeId(0)],
+            &[2, 0, 0, 0, 0],
+            WorldRef::Dense(&w),
+            &mut scratch,
+            |v| seen.push(v),
+        );
+        assert_eq!(out.activated, seen.len());
+        assert_eq!(seen, vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn seed_order_does_not_change_the_outcome() {
+        // Two seeds compete for node 2 (both edges live, one coupon each):
+        // the frontier bitset canonicalizes round order to ascending ids,
+        // so the caller's seed ordering is irrelevant.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 2, 0.9).unwrap();
+        b.add_edge(1, 2, 0.9).unwrap();
+        b.add_edge(1, 3, 0.8).unwrap();
+        let g = b.build().unwrap();
+        let d = NodeData::uniform(4, 1.0, 1.0, 1.0);
+        let mut w = BitVec::zeros(3);
+        for e in 0..3 {
+            w.set(e, true);
+        }
+        let mut scratch = CascadeScratch::new(4);
+        let k = [1, 1, 0, 0];
+        let ab = world_cascade(
+            &g,
+            &d,
+            &[NodeId(0), NodeId(1)],
+            &k,
+            WorldRef::Dense(&w),
+            &mut scratch,
+        );
+        let ba = world_cascade(
+            &g,
+            &d,
+            &[NodeId(1), NodeId(0)],
+            &k,
+            WorldRef::Dense(&w),
+            &mut scratch,
+        );
+        assert_eq!(ab, ba);
+        // Node 0 (smaller id) wins the contested target; node 1 still has
+        // its coupon for node 3.
+        assert_eq!(ab.activated, 4);
+        assert_eq!(ab.redeemed_sc_cost, 2.0);
     }
 }

@@ -8,25 +8,173 @@
 //! cheap and, crucially, **correlated**: marginal gains are measured against
 //! the same randomness, which removes most of the sampling noise from
 //! greedy comparisons.
+//!
+//! ## Geometric skip sampling
+//!
+//! Tossing one coin per edge per world costs `O(R·m)` RNG draws even though
+//! typical influence probabilities leave worlds 1–10% dense. The default
+//! sampler instead walks the graph's [`ProbBucketIndex`]: within a bucket of
+//! edges whose probabilities share a binary exponent it jumps
+//! `Geometric(p_max)` gaps between candidate live edges and thins each
+//! candidate with probability `p/p_max` (a no-op draw when the bucket is
+//! uniform), so generation work is proportional to the number of **live**
+//! edges, not all edges.
+//!
+//! ## Storage
+//!
+//! Worlds are held in one of two representations ([`WorldStorage`]):
+//!
+//! * **Sparse** (default) — a world-major CSR of ascending live edge ids,
+//!   gap-encoded as `u8` deltas (255 escapes), [`Section`]-backed so it can
+//!   later ride the `.oscg` mmap path. At the Table II profiles' densities
+//!   this is several times smaller than one bit per edge; evaluation
+//!   decodes one world at a time into a reusable `u32` buffer that a whole
+//!   candidate batch then shares (see [`crate::monte_carlo`]).
+//! * **Dense** — one [`BitVec`] bit per edge per world, the same live sets
+//!   materialized differently. `repro --world-storage dense` forces it; CI
+//!   pins that both representations produce byte-identical experiment CSVs.
+//!
+//! ## RNG-stream contract
+//!
+//! World `i` is always RNG stream `i` (the world index is mixed into the
+//! seed), so caches are reproducible and never depend on the pool size.
+//! The skip sampler consumes its stream in a different order than the
+//! per-edge reference sampler, so the **worlds themselves changed once**
+//! when skip sampling became the default — seed-pinned expectations were
+//! re-blessed at that point and are pinned again across pool sizes 1/2/N.
+//! [`WorldCache::sample_dense_reference`] keeps the original per-edge
+//! Bernoulli stream; statistical-equivalence proptests assert the two
+//! samplers agree on every edge's live frequency.
 
 use crate::bits::BitVec;
+use osn_graph::prob_index::ProbBucketIndex;
+use osn_graph::storage::Section;
 use osn_graph::CsrGraph;
 use osn_pool::ThreadPool;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::time::Instant;
+
+/// How sampled worlds are held in memory. Representation only: both forms
+/// hold bit-for-bit identical live-edge sets for the same `(graph, count,
+/// seed)` and drive byte-identical experiment output.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum WorldStorage {
+    /// Gap-encoded world-major CSR of live edge ids (the default).
+    Sparse = 0,
+    /// One bit per edge per world.
+    Dense = 1,
+}
+
+static DEFAULT_STORAGE: AtomicU8 = AtomicU8::new(WorldStorage::Sparse as u8);
+
+/// Set the process-wide storage used by [`WorldCache::sample`] /
+/// [`WorldCache::sample_with_pool`] — the `repro --world-storage` escape
+/// hatch. Representation only; results never change.
+pub fn set_default_world_storage(storage: WorldStorage) {
+    DEFAULT_STORAGE.store(storage as u8, Ordering::Relaxed);
+}
+
+/// The process-wide default world storage (sparse unless overridden).
+pub fn default_world_storage() -> WorldStorage {
+    if DEFAULT_STORAGE.load(Ordering::Relaxed) == WorldStorage::Dense as u8 {
+        WorldStorage::Dense
+    } else {
+        WorldStorage::Sparse
+    }
+}
+
+/// Sparse worlds: a world-major CSR over a gap-encoded live-edge stream.
+#[derive(Clone, Debug)]
+struct SparseWorlds {
+    /// Byte offsets into `gaps`, length `R + 1`.
+    offsets: Section<u64>,
+    /// Live-edge count per world (exact decode preallocation), length `R`.
+    counts: Section<u32>,
+    /// Ascending live edge ids as `u8` deltas; a 255 byte adds 255 to the
+    /// pending delta and continues, any other byte terminates it.
+    gaps: Section<u8>,
+}
+
+#[derive(Clone, Debug)]
+enum Repr {
+    Sparse(SparseWorlds),
+    Dense(Vec<BitVec>),
+}
+
+/// A borrowed view of one world's live-edge set.
+#[derive(Clone, Copy, Debug)]
+pub enum WorldRef<'a> {
+    /// One bit per edge.
+    Dense(&'a BitVec),
+    /// Ascending live edge ids.
+    Sparse(&'a [u32]),
+}
+
+impl<'a> WorldRef<'a> {
+    /// Is edge `e` live? (Sparse worlds answer by binary search — use
+    /// [`for_live_out`](Self::for_live_out) on hot paths.)
+    pub fn get(&self, e: usize) -> bool {
+        match *self {
+            WorldRef::Dense(bits) => bits.get(e),
+            WorldRef::Sparse(live) => live.binary_search(&(e as u32)).is_ok(),
+        }
+    }
+
+    /// Number of live edges in the world.
+    pub fn live_count(&self) -> usize {
+        match *self {
+            WorldRef::Dense(bits) => bits.count_ones(),
+            WorldRef::Sparse(live) => live.len(),
+        }
+    }
+
+    /// Visit the live edge ids in `[lo, hi)` (one node's out-edge range)
+    /// in ascending order (= rank order within the node's out-edges),
+    /// stopping early when `f` returns `false`. This is the cascade
+    /// kernels' live-adjacency cursor: sparse worlds position it with one
+    /// binary search and then touch only live out-edges; dense worlds skip
+    /// whole zero words.
+    #[inline]
+    pub fn for_live_out(&self, lo: u32, hi: u32, mut f: impl FnMut(u32) -> bool) {
+        match *self {
+            WorldRef::Dense(bits) => {
+                bits.for_each_set_in(lo as usize, hi as usize, |e| f(e as u32))
+            }
+            WorldRef::Sparse(live) => {
+                let start = live.partition_point(|&e| e < lo);
+                for &e in &live[start..] {
+                    if e >= hi || !f(e) {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<'a> From<&'a BitVec> for WorldRef<'a> {
+    fn from(bits: &'a BitVec) -> Self {
+        WorldRef::Dense(bits)
+    }
+}
 
 /// A cache of `R` live-edge worlds for one graph.
 #[derive(Clone, Debug)]
 pub struct WorldCache {
-    worlds: Vec<BitVec>,
+    repr: Repr,
     edges: usize,
+    live_edges: u64,
+    sampling_micros: u64,
 }
 
 impl WorldCache {
-    /// Sample `count` worlds with coin flips seeded from `seed` (each world
+    /// Sample `count` worlds with streams seeded from `seed` (each world
     /// has an independent deterministic stream, so caches are reproducible
     /// and workers can generate disjoint world ranges), generating on the
-    /// shared [`osn_pool::global`] pool.
+    /// shared [`osn_pool::global`] pool in the process-default storage.
     pub fn sample(graph: &CsrGraph, count: usize, seed: u64) -> Self {
         Self::sample_with_pool(graph, count, seed, osn_pool::global())
     }
@@ -34,61 +182,587 @@ impl WorldCache {
     /// Sample on an explicit pool. World `i` is always RNG stream `i`, so
     /// the cache contents never depend on the pool size.
     pub fn sample_with_pool(graph: &CsrGraph, count: usize, seed: u64, pool: &ThreadPool) -> Self {
+        Self::sample_with_storage(graph, count, seed, default_world_storage(), pool)
+    }
+
+    /// Sample into an explicit storage representation. Both storages
+    /// materialize the same skip-sampled live sets.
+    pub fn sample_with_storage(
+        graph: &CsrGraph,
+        count: usize,
+        seed: u64,
+        storage: WorldStorage,
+        pool: &ThreadPool,
+    ) -> Self {
+        let index = graph.prob_bucket_index();
+        Self::sample_with_index(graph, &index, count, seed, storage, pool)
+    }
+
+    /// Sample against a prebuilt [`ProbBucketIndex`] — callers that draw
+    /// several caches from one graph build the index once.
+    pub fn sample_with_index(
+        graph: &CsrGraph,
+        index: &ProbBucketIndex,
+        count: usize,
+        seed: u64,
+        storage: WorldStorage,
+        pool: &ThreadPool,
+    ) -> Self {
+        assert_eq!(
+            index.edge_count(),
+            graph.edge_count(),
+            "index/graph mismatch"
+        );
+        let t0 = Instant::now();
         let probs = graph.edge_probs_flat();
-        let m = probs.len();
+        let m = graph.edge_count();
+        // Finalize mode: the skip walk emits live ids bucket-major, so
+        // worlds need one re-ordering pass. Dense-ish worlds extract from a
+        // scratch bitmap (linear in m/64 words); very sparse worlds on
+        // large graphs sort instead. The choice never affects the ids.
+        let use_bitmap = index.expected_live() * 16.0 >= (m as f64) / 64.0;
+        let sampler = move |world: u64, scratch: &mut SampleScratch| {
+            let mut rng = world_rng(seed, world);
+            scratch.ids.clear();
+            if use_bitmap {
+                if scratch.bits.len() < m {
+                    scratch.bits = BitVec::zeros(m);
+                }
+                let bits = &mut scratch.bits;
+                walk_live_edges(index, probs, &mut rng, |e| bits.set(e as usize, true));
+                scratch.bits.drain_set_into(&mut scratch.ids);
+            } else {
+                let ids = &mut scratch.ids;
+                walk_live_edges(index, probs, &mut rng, |e| ids.push(e));
+                scratch.ids.sort_unstable();
+            }
+        };
+        let mut cache = Self::build(m, count, storage, pool, &sampler);
+        cache.sampling_micros = t0.elapsed().as_micros() as u64;
+        cache
+    }
+
+    /// The original dense per-edge Bernoulli sampler, kept as the reference
+    /// the skip sampler is statistically checked against. Its RNG stream
+    /// predates skip sampling and differs from [`sample`](Self::sample);
+    /// the worlds are equal in distribution, not bitwise.
+    pub fn sample_dense_reference(graph: &CsrGraph, count: usize, seed: u64) -> Self {
+        Self::sample_dense_reference_with_pool(graph, count, seed, osn_pool::global())
+    }
+
+    /// [`sample_dense_reference`](Self::sample_dense_reference) on an
+    /// explicit pool.
+    pub fn sample_dense_reference_with_pool(
+        graph: &CsrGraph,
+        count: usize,
+        seed: u64,
+        pool: &ThreadPool,
+    ) -> Self {
+        let t0 = Instant::now();
+        let probs = graph.edge_probs_flat();
+        let sampler = move |world: u64, scratch: &mut SampleScratch| {
+            sample_world_live_reference(probs, seed, world, &mut scratch.ids);
+        };
+        let mut cache = Self::build(
+            graph.edge_count(),
+            count,
+            WorldStorage::Dense,
+            pool,
+            &sampler,
+        );
+        cache.sampling_micros = t0.elapsed().as_micros() as u64;
+        cache
+    }
+
+    /// Shared generation driver: run `sampler` for every world index
+    /// (chunk-parallel over `pool`, world `i` always stream `i`) and pack
+    /// the sorted live lists into the requested representation.
+    fn build(
+        edges: usize,
+        count: usize,
+        storage: WorldStorage,
+        pool: &ThreadPool,
+        sampler: &(dyn Fn(u64, &mut SampleScratch) + Sync),
+    ) -> Self {
         let workers = pool.num_threads().min(count.max(1));
-        let mut worlds: Vec<BitVec> = vec![BitVec::zeros(0); count];
-        if workers <= 1 || count < 8 {
-            for (w, slot) in worlds.iter_mut().enumerate() {
-                *slot = sample_world(probs, seed, w as u64);
+        let serial = workers <= 1 || count < 8;
+        let chunk = if serial {
+            count.max(1)
+        } else {
+            count.div_ceil(workers)
+        };
+        let n_chunks = if count == 0 { 0 } else { count.div_ceil(chunk) };
+        let mut chunks: Vec<Chunk> = Vec::new();
+        chunks.resize_with(n_chunks, || Chunk::new(storage));
+        if serial {
+            for (t, slot) in chunks.iter_mut().enumerate() {
+                fill_chunk(slot, t * chunk, count.min((t + 1) * chunk), edges, sampler);
             }
         } else {
-            let chunk = count.div_ceil(workers);
             pool.scope(|s| {
-                for (t, slice) in worlds.chunks_mut(chunk).enumerate() {
+                for (t, slot) in chunks.iter_mut().enumerate() {
                     s.spawn(move || {
-                        for (j, slot) in slice.iter_mut().enumerate() {
-                            *slot = sample_world(probs, seed, (t * chunk + j) as u64);
-                        }
+                        fill_chunk(slot, t * chunk, count.min((t + 1) * chunk), edges, sampler);
                     });
                 }
             });
         }
-        WorldCache { worlds, edges: m }
+        let live_edges: u64 = chunks.iter().map(Chunk::live_edges).sum();
+        let repr = match storage {
+            WorldStorage::Dense => {
+                let mut worlds = Vec::with_capacity(count);
+                for c in &mut chunks {
+                    worlds.append(&mut c.dense);
+                }
+                Repr::Dense(worlds)
+            }
+            WorldStorage::Sparse => {
+                let total_bytes: usize = chunks.iter().map(|c| c.gaps.len()).sum();
+                let mut offsets = Vec::with_capacity(count + 1);
+                let mut counts = Vec::with_capacity(count);
+                let mut gaps = Vec::with_capacity(total_bytes);
+                offsets.push(0u64);
+                let mut at = 0u64;
+                for c in &chunks {
+                    gaps.extend_from_slice(&c.gaps);
+                    for (&cnt, &len) in c.counts.iter().zip(&c.byte_lens) {
+                        counts.push(cnt);
+                        at += len as u64;
+                        offsets.push(at);
+                    }
+                }
+                Repr::Sparse(SparseWorlds {
+                    offsets: offsets.into(),
+                    counts: counts.into(),
+                    gaps: gaps.into(),
+                })
+            }
+        };
+        WorldCache {
+            repr,
+            edges,
+            live_edges,
+            sampling_micros: 0,
+        }
     }
 
     /// Number of cached worlds.
     pub fn len(&self) -> usize {
-        self.worlds.len()
+        match &self.repr {
+            Repr::Sparse(s) => s.counts.len(),
+            Repr::Dense(v) => v.len(),
+        }
     }
 
     /// True when no worlds are cached.
     pub fn is_empty(&self) -> bool {
-        self.worlds.is_empty()
+        self.len() == 0
     }
 
-    /// Number of edges each world covers.
+    /// Number of edges each world covers (the graph's edge count even when
+    /// zero worlds are cached).
     pub fn edge_count(&self) -> usize {
         self.edges
     }
 
-    /// Borrow world `i`.
+    /// The representation this cache holds.
+    pub fn storage(&self) -> WorldStorage {
+        match &self.repr {
+            Repr::Sparse(_) => WorldStorage::Sparse,
+            Repr::Dense(_) => WorldStorage::Dense,
+        }
+    }
+
+    /// Borrow world `i`, decoding sparse worlds into `buf` (dense worlds
+    /// borrow the cache directly and leave `buf` untouched). Callers that
+    /// walk many worlds reuse one buffer across the loop.
     #[inline]
-    pub fn world(&self, i: usize) -> &BitVec {
-        &self.worlds[i]
+    pub fn world_into<'a>(&'a self, i: usize, buf: &'a mut Vec<u32>) -> WorldRef<'a> {
+        match &self.repr {
+            Repr::Dense(v) => WorldRef::Dense(&v[i]),
+            Repr::Sparse(s) => {
+                let bytes = &s.gaps[s.offsets[i] as usize..s.offsets[i + 1] as usize];
+                decode_gaps(bytes, s.counts[i] as usize, buf);
+                WorldRef::Sparse(buf)
+            }
+        }
+    }
+
+    /// Materialize world `i` directly into a caller bitmap (must already
+    /// span [`edge_count`](Self::edge_count) bits, and be clear): sparse
+    /// worlds decode their gap stream straight into bit sets with no
+    /// intermediate id list; dense worlds return `false` to signal the
+    /// caller should borrow the stored bitmap via
+    /// [`world_into`](Self::world_into) instead of copying.
+    pub fn world_fill_bits(&self, i: usize, bits: &mut BitVec) -> bool {
+        match &self.repr {
+            Repr::Dense(_) => false,
+            Repr::Sparse(s) => {
+                debug_assert!(bits.len() >= self.edges);
+                let bytes = &s.gaps[s.offsets[i] as usize..s.offsets[i + 1] as usize];
+                let mut cur = 0u32;
+                let mut delta = 0u32;
+                let mut first = true;
+                for &b in bytes {
+                    delta += b as u32;
+                    if b < 255 {
+                        cur = if first { delta } else { cur + delta };
+                        first = false;
+                        bits.set(cur as usize, true);
+                        delta = 0;
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    /// World `i`'s live edge ids, ascending (a convenience for tests and
+    /// diagnostics; hot paths use [`world_into`](Self::world_into)).
+    pub fn live_edge_ids(&self, i: usize) -> Vec<u32> {
+        let mut buf = Vec::new();
+        match self.world_into(i, &mut buf) {
+            WorldRef::Sparse(live) => live.to_vec(),
+            WorldRef::Dense(bits) => {
+                let mut out = Vec::with_capacity(bits.count_ones());
+                bits.for_each_set_in(0, bits.len(), |e| {
+                    out.push(e as u32);
+                    true
+                });
+                out
+            }
+        }
+    }
+
+    /// Total live edges across all cached worlds.
+    pub fn live_edge_count(&self) -> u64 {
+        self.live_edges
+    }
+
+    /// Mean live-edge density (`live / (R·m)`), 0 for degenerate caches.
+    pub fn live_density(&self) -> f64 {
+        let cells = (self.edges as u64).saturating_mul(self.len() as u64);
+        if cells == 0 {
+            0.0
+        } else {
+            self.live_edges as f64 / cells as f64
+        }
+    }
+
+    /// Resident bytes of the world payload (what the fig9-style telemetry
+    /// columns report).
+    pub fn resident_bytes(&self) -> u64 {
+        match &self.repr {
+            Repr::Sparse(s) => {
+                (s.offsets.len() * std::mem::size_of::<u64>()
+                    + s.counts.len() * std::mem::size_of::<u32>()
+                    + s.gaps.len()) as u64
+            }
+            Repr::Dense(v) => v
+                .iter()
+                .map(|b| (b.resident_bytes() + std::mem::size_of::<BitVec>()) as u64)
+                .sum(),
+        }
+    }
+
+    /// Wall time the sampling pass took, in microseconds.
+    pub fn sampling_micros(&self) -> u64 {
+        self.sampling_micros
     }
 }
 
-fn sample_world(probs: &[f64], seed: u64, index: u64) -> BitVec {
-    // Distinct stream per world: mix the world index into the seed.
-    let mut rng = SmallRng::seed_from_u64(seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-    let mut bits = BitVec::zeros(probs.len());
-    for (e, &p) in probs.iter().enumerate() {
-        if p > 0.0 && rng.gen_bool(p) {
-            bits.set(e, true);
+/// Per-chunk generation output; only the fields of the requested storage
+/// are populated.
+struct Chunk {
+    dense: Vec<BitVec>,
+    gaps: Vec<u8>,
+    counts: Vec<u32>,
+    byte_lens: Vec<usize>,
+    storage: WorldStorage,
+}
+
+impl Chunk {
+    fn new(storage: WorldStorage) -> Self {
+        Chunk {
+            dense: Vec::new(),
+            gaps: Vec::new(),
+            counts: Vec::new(),
+            byte_lens: Vec::new(),
+            storage,
         }
     }
-    bits
+
+    fn live_edges(&self) -> u64 {
+        match self.storage {
+            WorldStorage::Sparse => self.counts.iter().map(|&c| c as u64).sum(),
+            WorldStorage::Dense => self.dense.iter().map(|b| b.count_ones() as u64).sum(),
+        }
+    }
+}
+
+/// Per-chunk sampler workspace: the world's live ids plus an optional
+/// scratch bitmap (sized lazily, reused across the chunk's worlds).
+struct SampleScratch {
+    ids: Vec<u32>,
+    bits: BitVec,
+}
+
+impl SampleScratch {
+    fn new() -> Self {
+        SampleScratch {
+            ids: Vec::new(),
+            bits: BitVec::zeros(0),
+        }
+    }
+}
+
+fn fill_chunk(
+    chunk: &mut Chunk,
+    lo: usize,
+    hi: usize,
+    edges: usize,
+    sampler: &(dyn Fn(u64, &mut SampleScratch) + Sync),
+) {
+    let mut scratch = SampleScratch::new();
+    for w in lo..hi {
+        sampler(w as u64, &mut scratch);
+        let live = &scratch.ids;
+        debug_assert!(live.windows(2).all(|p| p[0] < p[1]), "live ids not sorted");
+        match chunk.storage {
+            WorldStorage::Dense => {
+                let mut bits = BitVec::zeros(edges);
+                for &e in live {
+                    bits.set(e as usize, true);
+                }
+                chunk.dense.push(bits);
+            }
+            WorldStorage::Sparse => {
+                let before = chunk.gaps.len();
+                encode_gaps(live, &mut chunk.gaps);
+                chunk.counts.push(live.len() as u32);
+                chunk.byte_lens.push(chunk.gaps.len() - before);
+            }
+        }
+    }
+}
+
+/// Distinct stream per world: mix the world index into the seed (this is
+/// the world-identity half of the determinism contract).
+fn world_rng(seed: u64, index: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Walk one world's live edges bucket by bucket: `Geometric(p_max)` gaps
+/// (via ziggurat `Exp(1)` draws scaled by the bucket's precomputed
+/// `inv_lambda`) between candidates, thinned to the exact per-edge
+/// probability in non-uniform buckets. Emits live edge ids ascending
+/// *within* each bucket; callers re-order across buckets.
+fn walk_live_edges(
+    index: &ProbBucketIndex,
+    probs: &[f64],
+    rng: &mut SmallRng,
+    mut emit: impl FnMut(u32),
+) {
+    for bucket in index.buckets() {
+        let edges = &bucket.edges;
+        if bucket.p_max >= 1.0 {
+            for &e in edges {
+                emit(e);
+            }
+            continue;
+        }
+        let inv_lambda = bucket.inv_lambda;
+        let len = edges.len();
+        let mut i = 0usize;
+        loop {
+            // Geometric(p_max) gap: ⌊Exp(1) / −ln(1−p_max)⌋.
+            let gap = exp::exp1(rng) * inv_lambda;
+            if gap >= (len - i) as f64 {
+                break;
+            }
+            i += gap as usize;
+            let e = edges[i];
+            if bucket.uniform {
+                emit(e);
+            } else {
+                // Thin the candidate down from p_max to its true
+                // probability (acceptance ≥ ½ by bucket construction); the
+                // bucket maximum itself needs no draw.
+                let p = probs[e as usize];
+                if p >= bucket.p_max || rng.gen::<f64>() * bucket.p_max < p {
+                    emit(e);
+                }
+            }
+            i += 1;
+            if i >= len {
+                break;
+            }
+        }
+    }
+}
+
+mod exp {
+    //! Exact `Exponential(1)` sampling via the Marsaglia–Tsang ziggurat
+    //! (the layer layout `rand_distr` uses): ~99% of draws cost one `u64`
+    //! and two comparisons — no `ln` — which is what makes a geometric gap
+    //! draw cheaper than the dozens of Bernoulli flips it replaces.
+
+    use rand::rngs::SmallRng;
+    use rand::{Rng, RngCore};
+    use std::sync::OnceLock;
+
+    const LAYERS: usize = 256;
+    /// Right edge of the base layer (standard 256-layer exponential value).
+    const R: f64 = 7.697_117_470_131_487;
+    /// Common layer area.
+    const V: f64 = 3.949_659_822_581_572e-3;
+
+    struct Tables {
+        /// Layer right edges, descending: `x[0] = V·e^R > x[1] = R > … >
+        /// x[256] = 0`.
+        x: [f64; LAYERS + 1],
+        /// `f[i] = e^(−x[i])` (ascending).
+        f: [f64; LAYERS + 1],
+    }
+
+    fn tables() -> &'static Tables {
+        static T: OnceLock<Tables> = OnceLock::new();
+        T.get_or_init(|| {
+            let mut x = [0.0f64; LAYERS + 1];
+            x[0] = V * R.exp();
+            x[1] = R;
+            for i in 2..LAYERS {
+                let prev = x[i - 1];
+                x[i] = -(V / prev + (-prev).exp()).ln();
+            }
+            x[LAYERS] = 0.0;
+            let mut f = [0.0f64; LAYERS + 1];
+            for i in 0..=LAYERS {
+                f[i] = (-x[i]).exp();
+            }
+            Tables { x, f }
+        })
+    }
+
+    /// One `Exponential(1)` draw from `rng`'s deterministic stream.
+    #[inline]
+    pub(super) fn exp1(rng: &mut SmallRng) -> f64 {
+        let t = tables();
+        loop {
+            let bits = rng.next_u64();
+            let i = (bits & 0xFF) as usize;
+            let u = (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            let x = u * t.x[i];
+            if x < t.x[i + 1] {
+                return x;
+            }
+            if i == 0 {
+                // Tail beyond R; memorylessness gives R + Exp(1). The
+                // `1 − u` keeps the argument in (0, 1] so ln stays finite.
+                return R - (1.0 - rng.gen::<f64>()).ln();
+            }
+            // Wedge between the inner rectangle and the pdf.
+            if t.f[i + 1] + (t.f[i] - t.f[i + 1]) * rng.gen::<f64>() < (-x).exp() {
+                return x;
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use rand::SeedableRng;
+
+        #[test]
+        fn tables_are_monotone_and_anchored() {
+            let t = tables();
+            assert_eq!(t.x[1], R);
+            assert_eq!(t.x[LAYERS], 0.0);
+            for i in 1..=LAYERS {
+                assert!(t.x[i] < t.x[i - 1], "x not descending at {i}");
+                assert!(t.f[i] > t.f[i - 1], "f not ascending at {i}");
+            }
+            // The recurrence should walk all the way down: the canonical
+            // 256-layer exponential table ends near x[255] ≈ 0.0637.
+            assert!(
+                (t.x[LAYERS - 1] - 0.0637).abs() < 0.005,
+                "x[255] = {}",
+                t.x[LAYERS - 1]
+            );
+        }
+
+        #[test]
+        fn exponential_moments_match() {
+            let mut rng = SmallRng::seed_from_u64(42);
+            let n = 200_000usize;
+            let (mut sum, mut sum_sq, mut tail) = (0.0f64, 0.0f64, 0usize);
+            for _ in 0..n {
+                let x = exp1(&mut rng);
+                assert!(x >= 0.0 && x.is_finite());
+                sum += x;
+                sum_sq += x * x;
+                if x > 3.0 {
+                    tail += 1;
+                }
+            }
+            let mean = sum / n as f64;
+            let var = sum_sq / n as f64 - mean * mean;
+            assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
+            assert!((var - 1.0).abs() < 0.03, "variance {var}");
+            // P(X > 3) = e^-3 ≈ 0.0498.
+            let tail_freq = tail as f64 / n as f64;
+            assert!((tail_freq - 0.0498).abs() < 0.003, "tail {tail_freq}");
+        }
+    }
+}
+
+/// The pre-skip-sampling reference: one Bernoulli draw per edge in edge-id
+/// order (the original `WorldCache` stream, byte for byte).
+fn sample_world_live_reference(probs: &[f64], seed: u64, world: u64, out: &mut Vec<u32>) {
+    let mut rng = world_rng(seed, world);
+    out.clear();
+    for (e, &p) in probs.iter().enumerate() {
+        if p > 0.0 && rng.gen_bool(p) {
+            out.push(e as u32);
+        }
+    }
+}
+
+/// Append `live` (ascending edge ids) to `out` as u8 deltas: the first
+/// value is the id itself, later values the gap to the previous id; deltas
+/// ≥ 255 spill into 255-escape bytes.
+fn encode_gaps(live: &[u32], out: &mut Vec<u8>) {
+    let mut prev = 0u32;
+    let mut first = true;
+    for &e in live {
+        let mut d = if first { e } else { e - prev };
+        first = false;
+        prev = e;
+        while d >= 255 {
+            out.push(255);
+            d -= 255;
+        }
+        out.push(d as u8);
+    }
+}
+
+/// Decode a gap stream back into ascending edge ids.
+fn decode_gaps(bytes: &[u8], count: usize, out: &mut Vec<u32>) {
+    out.clear();
+    out.reserve(count);
+    let mut cur = 0u32;
+    let mut delta = 0u32;
+    let mut first = true;
+    for &b in bytes {
+        delta += b as u32;
+        if b < 255 {
+            cur = if first { delta } else { cur + delta };
+            first = false;
+            out.push(cur);
+            delta = 0;
+        }
+    }
+    debug_assert_eq!(out.len(), count, "gap stream count mismatch");
 }
 
 #[cfg(test)]
@@ -105,28 +779,54 @@ mod tests {
     }
 
     #[test]
+    fn gap_codec_round_trips() {
+        let cases: Vec<Vec<u32>> = vec![
+            vec![],
+            vec![0],
+            vec![254],
+            vec![255],
+            vec![0, 1, 2, 3],
+            vec![300, 1000, 1254, 1255, 70000, u32::MAX],
+            (0..500).map(|i| i * 511).collect(),
+        ];
+        for live in cases {
+            let mut bytes = Vec::new();
+            encode_gaps(&live, &mut bytes);
+            let mut back = Vec::new();
+            decode_gaps(&bytes, live.len(), &mut back);
+            assert_eq!(back, live);
+        }
+    }
+
+    #[test]
     fn deterministic_per_seed() {
         let g = graph();
         let a = WorldCache::sample(&g, 16, 7);
         let b = WorldCache::sample(&g, 16, 7);
         for w in 0..16 {
-            assert_eq!(a.world(w), b.world(w));
+            assert_eq!(a.live_edge_ids(w), b.live_edge_ids(w));
         }
         let c = WorldCache::sample(&g, 16, 8);
-        let diff = (0..16).any(|w| a.world(w) != c.world(w));
+        let diff = (0..16).any(|w| a.live_edge_ids(w) != c.live_edge_ids(w));
         assert!(diff, "different seeds should give different worlds");
     }
 
     #[test]
     fn certain_and_impossible_edges() {
         let g = graph();
-        let cache = WorldCache::sample(&g, 64, 3);
         // Edge ids: node1 -> node2 is edge id 1 (p = 1.0); 2 -> 0 is id 2.
         let e1 = g.out_edge_ids(osn_graph::NodeId(1)).start as usize;
         let e2 = g.out_edge_ids(osn_graph::NodeId(2)).start as usize;
-        for w in 0..cache.len() {
-            assert!(cache.world(w).get(e1), "p=1 edge must always be live");
-            assert!(!cache.world(w).get(e2), "p=0 edge must never be live");
+        for cache in [
+            WorldCache::sample(&g, 64, 3),
+            WorldCache::sample_dense_reference(&g, 64, 3),
+        ] {
+            let mut buf = Vec::new();
+            for w in 0..cache.len() {
+                let world = cache.world_into(w, &mut buf);
+                assert!(world.get(e1), "p=1 edge must always be live");
+                assert!(!world.get(e2), "p=0 edge must never be live");
+            }
         }
     }
 
@@ -135,7 +835,10 @@ mod tests {
         let g = graph();
         let cache = WorldCache::sample(&g, 4000, 5);
         let e0 = g.out_edge_ids(osn_graph::NodeId(0)).start as usize;
-        let live = (0..cache.len()).filter(|&w| cache.world(w).get(e0)).count();
+        let mut buf = Vec::new();
+        let live = (0..cache.len())
+            .filter(|&w| cache.world_into(w, &mut buf).get(e0))
+            .count();
         let freq = live as f64 / cache.len() as f64;
         assert!((freq - 0.5).abs() < 0.03, "p=0.5 edge live at {freq}");
     }
@@ -147,7 +850,21 @@ mod tests {
         let many = WorldCache::sample(&g, 64, 11);
         let few = WorldCache::sample(&g, 4, 11); // serial path
         for w in 0..4 {
-            assert_eq!(many.world(w), few.world(w));
+            assert_eq!(many.live_edge_ids(w), few.live_edge_ids(w));
+        }
+    }
+
+    #[test]
+    fn storages_hold_identical_worlds() {
+        let g = graph();
+        let pool = ThreadPool::new(2);
+        let sparse = WorldCache::sample_with_storage(&g, 64, 11, WorldStorage::Sparse, &pool);
+        let dense = WorldCache::sample_with_storage(&g, 64, 11, WorldStorage::Dense, &pool);
+        assert_eq!(sparse.storage(), WorldStorage::Sparse);
+        assert_eq!(dense.storage(), WorldStorage::Dense);
+        assert_eq!(sparse.live_edge_count(), dense.live_edge_count());
+        for w in 0..64 {
+            assert_eq!(sparse.live_edge_ids(w), dense.live_edge_ids(w), "world {w}");
         }
     }
 
@@ -176,7 +893,11 @@ mod tests {
         let mapped = WorldCache::sample(&loaded, 64, 11);
         assert_eq!(owned.edge_count(), mapped.edge_count());
         for w in 0..64 {
-            assert_eq!(owned.world(w), mapped.world(w), "world {w} diverged");
+            assert_eq!(
+                owned.live_edge_ids(w),
+                mapped.live_edge_ids(w),
+                "world {w} diverged"
+            );
         }
         std::fs::remove_file(&path).ok();
     }
@@ -190,11 +911,163 @@ mod tests {
             let pooled = WorldCache::sample_with_pool(&g, 64, 11, &pool);
             for w in 0..64 {
                 assert_eq!(
-                    serial.world(w),
-                    pooled.world(w),
+                    serial.live_edge_ids(w),
+                    pooled.live_edge_ids(w),
                     "world {w}, {threads} workers"
                 );
             }
         }
+    }
+
+    #[test]
+    fn zero_worlds_keep_the_graph_edge_count() {
+        let g = graph();
+        for storage in [WorldStorage::Sparse, WorldStorage::Dense] {
+            let cache = WorldCache::sample_with_storage(&g, 0, 1, storage, &ThreadPool::new(2));
+            assert_eq!(cache.len(), 0);
+            assert!(cache.is_empty());
+            assert_eq!(cache.edge_count(), g.edge_count(), "evaluators assert this");
+            assert_eq!(cache.live_edge_count(), 0);
+            assert_eq!(cache.live_density(), 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_and_edgeless_graphs_sample_empty_worlds() {
+        for n in [0usize, 5] {
+            let g = GraphBuilder::new(n).build().unwrap();
+            let cache = WorldCache::sample(&g, 16, 9);
+            assert_eq!(cache.len(), 16);
+            assert_eq!(cache.edge_count(), 0);
+            assert_eq!(cache.live_edge_count(), 0);
+            for w in 0..16 {
+                assert!(cache.live_edge_ids(w).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn all_extreme_probabilities() {
+        // Every edge either certain or impossible: no RNG draw decides
+        // anything, both samplers and both storages must agree exactly.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1.0).unwrap();
+        b.add_edge(0, 2, 0.0).unwrap();
+        b.add_edge(1, 3, 1.0).unwrap();
+        b.add_edge(2, 3, 0.0).unwrap();
+        let g = b.build().unwrap();
+        let live_of = |cache: &WorldCache| -> Vec<Vec<u32>> {
+            (0..cache.len()).map(|w| cache.live_edge_ids(w)).collect()
+        };
+        let sparse = WorldCache::sample(&g, 8, 1);
+        let reference = WorldCache::sample_dense_reference(&g, 8, 1);
+        assert_eq!(live_of(&sparse), live_of(&reference));
+        for w in 0..8 {
+            let ids = sparse.live_edge_ids(w);
+            assert_eq!(ids.len(), 2);
+            for e in ids {
+                assert_eq!(g.edge_probs_flat()[e as usize], 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_storage_is_smaller_at_low_density() {
+        // A 4000-edge path at p = 0.02: dense pays 1 bit/edge/world, the
+        // gap stream ≈ 1 byte per live edge (~80 per world).
+        let n = 4001u32;
+        let mut b = GraphBuilder::new(n as usize);
+        for i in 0..n - 1 {
+            b.add_edge(i, i + 1, 0.02).unwrap();
+        }
+        let g = b.build().unwrap();
+        let pool = ThreadPool::new(1);
+        let sparse = WorldCache::sample_with_storage(&g, 64, 3, WorldStorage::Sparse, &pool);
+        let dense = WorldCache::sample_with_storage(&g, 64, 3, WorldStorage::Dense, &pool);
+        assert!(
+            sparse.resident_bytes() * 3 < dense.resident_bytes(),
+            "sparse {} vs dense {} bytes",
+            sparse.resident_bytes(),
+            dense.resident_bytes()
+        );
+        assert!(sparse.sampling_micros() > 0 || dense.sampling_micros() > 0);
+        let d = sparse.live_density();
+        assert!((d - 0.02).abs() < 0.005, "density {d} far from p");
+    }
+
+    #[test]
+    fn skip_sampler_matches_reference_frequencies() {
+        // Mixed probability classes, including values that share a bucket
+        // with a larger cap (exercising the thinning path). 4000 worlds
+        // puts ~6σ bounds near 0.05.
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(0, 1, 0.9).unwrap();
+        b.add_edge(0, 2, 0.55).unwrap();
+        b.add_edge(1, 3, 0.3).unwrap();
+        b.add_edge(2, 4, 0.07).unwrap();
+        b.add_edge(3, 5, 0.013).unwrap();
+        let g = b.build().unwrap();
+        let r = 4000usize;
+        let freq = |cache: &WorldCache| -> Vec<f64> {
+            let mut counts = vec![0usize; g.edge_count()];
+            for w in 0..cache.len() {
+                for e in cache.live_edge_ids(w) {
+                    counts[e as usize] += 1;
+                }
+            }
+            counts.iter().map(|&c| c as f64 / r as f64).collect()
+        };
+        let skip = freq(&WorldCache::sample(&g, r, 99));
+        let reference = freq(&WorldCache::sample_dense_reference(&g, r, 1234));
+        for (e, &p) in g.edge_probs_flat().iter().enumerate() {
+            assert!(
+                (skip[e] - p).abs() < 0.05,
+                "edge {e}: skip freq {} vs p {p}",
+                skip[e]
+            );
+            assert!(
+                (skip[e] - reference[e]).abs() < 0.07,
+                "edge {e}: skip {} vs reference {}",
+                skip[e],
+                reference[e]
+            );
+        }
+    }
+
+    #[test]
+    fn live_out_cursor_matches_per_node_filter() {
+        // A 40-node ring with chords at mixed probabilities: every world
+        // view must report exactly a node's live out-edges, in rank order.
+        let mut b = GraphBuilder::new(40);
+        for i in 0u32..40 {
+            b.add_edge(i, (i + 1) % 40, 0.6).unwrap();
+            b.add_edge(i, (i + 7) % 40, 0.25).unwrap();
+            b.add_edge(i, (i + 13) % 40, 0.05).unwrap();
+        }
+        let g = b.build().unwrap();
+        let cache = WorldCache::sample(&g, 8, 3);
+        for w in 0..cache.len() {
+            let ids = cache.live_edge_ids(w);
+            let mut buf = Vec::new();
+            let world = cache.world_into(w, &mut buf);
+            for u in g.nodes() {
+                let r = g.out_edge_ids(u);
+                let want: Vec<u32> = ids.iter().copied().filter(|&e| r.contains(&e)).collect();
+                let mut got = Vec::new();
+                world.for_live_out(r.start, r.end, |e| {
+                    got.push(e);
+                    true
+                });
+                assert_eq!(got, want, "world {w}, node {u:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn default_storage_is_sparse() {
+        // (Process-global; other tests do not override it.)
+        assert_eq!(default_world_storage(), WorldStorage::Sparse);
+        let g = graph();
+        assert_eq!(WorldCache::sample(&g, 4, 1).storage(), WorldStorage::Sparse);
     }
 }

@@ -151,9 +151,49 @@ proptest! {
         b.add_edge(0, 1, p).unwrap();
         let g = b.build().unwrap();
         let cache = WorldCache::sample(&g, 8000, 3);
-        let live = (0..cache.len()).filter(|&w| cache.world(w).get(0)).count();
+        let mut buf = Vec::new();
+        let live = (0..cache.len())
+            .filter(|&w| cache.world_into(w, &mut buf).get(0))
+            .count();
         let freq = live as f64 / cache.len() as f64;
         prop_assert!((freq - p).abs() < 0.05, "live frequency {freq} vs p {p}");
+    }
+
+    /// Statistical equivalence of the skip sampler and the retained dense
+    /// per-edge Bernoulli reference: on random graphs with heterogeneous
+    /// probabilities, every edge's live frequency must agree within tight
+    /// binomial bounds (each estimate has σ = √(p(1−p)/R); the difference
+    /// of the two independent estimates gets a 5·√2·σ corridor).
+    #[test]
+    fn skip_sampled_frequencies_match_dense_reference(
+        edges in digraph_strategy(),
+        seed in 0u64..32,
+    ) {
+        let g = build_digraph(&edges);
+        let m = g.edge_count();
+        let r = 3000usize;
+        let freq = |cache: &WorldCache| -> Vec<f64> {
+            let mut counts = vec![0u32; m];
+            for w in 0..cache.len() {
+                for e in cache.live_edge_ids(w) {
+                    counts[e as usize] += 1;
+                }
+            }
+            counts.iter().map(|&c| c as f64 / r as f64).collect()
+        };
+        let skip = freq(&WorldCache::sample(&g, r, seed));
+        let dense = freq(&WorldCache::sample_dense_reference(&g, r, seed ^ 0xD0_0D));
+        for (e, &p) in g.edge_probs_flat().iter().enumerate() {
+            let sigma = (p * (1.0 - p) / r as f64).sqrt();
+            let bound = 5.0 * std::f64::consts::SQRT_2 * sigma + 1e-9;
+            prop_assert!(
+                (skip[e] - dense[e]).abs() <= bound,
+                "edge {} (p = {}): skip {} vs dense {} exceeds {}",
+                e, p, skip[e], dense[e], bound
+            );
+            // And each sampler individually tracks p.
+            prop_assert!((skip[e] - p).abs() <= 5.0 * sigma + 1e-9);
+        }
     }
 
     #[test]

@@ -115,11 +115,12 @@ proptest! {
             .collect();
         let cache = WorldCache::sample(&g, 4, 9);
         let mut scratch = osn_propagation::reach::CascadeScratch::new(n);
+        let mut buf = Vec::new();
         for w in 0..cache.len() {
             let a = osn_propagation::reach::world_cascade(
-                &g, &d, &[NodeId(0)], &coupons, cache.world(w), &mut scratch);
+                &g, &d, &[NodeId(0)], &coupons, cache.world_into(w, &mut buf), &mut scratch);
             let b = osn_propagation::reach::world_cascade(
-                &g, &d, &[NodeId(0)], &coupons, cache.world(w), &mut scratch);
+                &g, &d, &[NodeId(0)], &coupons, cache.world_into(w, &mut buf), &mut scratch);
             prop_assert_eq!(a, b);
         }
     }
