@@ -4,8 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use osn_gen::DatasetProfile;
 use osn_propagation::evaluator::BenefitEvaluator;
-use osn_propagation::world::WorldCache;
-use osn_propagation::{AnalyticEvaluator, MonteCarloEvaluator};
+use osn_propagation::{AnalyticEvaluator, McBackend};
 use s3crm_bench::Effort;
 use s3crm_core::{s3ca, S3caConfig};
 use std::time::Duration;
@@ -28,9 +27,9 @@ fn bench(c: &mut Criterion) {
         b.iter(|| ev.expected_benefit(&dep.seeds, &dep.coupons))
     });
     for worlds in [16usize, 64, 256] {
-        let cache = WorldCache::sample(&inst.graph, worlds, 11);
+        let backend = McBackend::sample(&inst.graph, worlds, 11);
         group.bench_with_input(BenchmarkId::new("monte_carlo", worlds), &worlds, |b, _| {
-            let ev = MonteCarloEvaluator::new(&inst.graph, &inst.data, &cache);
+            let ev = backend.evaluator(&inst.graph, &inst.data);
             b.iter(|| ev.expected_benefit(&dep.seeds, &dep.coupons))
         });
     }

@@ -7,8 +7,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use osn_gen::DatasetProfile;
 use osn_graph::NodeId;
-use osn_propagation::world::WorldCache;
-use osn_propagation::{DeploymentRef, MonteCarloEvaluator};
+use osn_propagation::{DeploymentRef, McBackend};
 use s3crm_bench::Effort;
 use std::time::Duration;
 
@@ -19,8 +18,8 @@ fn bench(c: &mut Criterion) {
     let inst = DatasetProfile::Facebook
         .generate(effort.profile_scale(DatasetProfile::Facebook), effort.seed)
         .expect("generation");
-    let cache = WorldCache::sample(&inst.graph, effort.eval_worlds, effort.seed ^ 0x0E7A_15A1);
-    let ev = MonteCarloEvaluator::new(&inst.graph, &inst.data, &cache);
+    let backend = McBackend::sample(&inst.graph, effort.eval_worlds, effort.seed ^ 0x0E7A_15A1);
+    let ev = backend.evaluator(&inst.graph, &inst.data);
 
     // Candidate list shaped like S3CA's milestone snapshots: growing
     // highest-degree seed prefixes with degree-capped coupon allocations.

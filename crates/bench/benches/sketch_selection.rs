@@ -1,0 +1,108 @@
+//! Sketch-backed vs Monte-Carlo-backed seed/coupon selection (the PR's
+//! headline comparison).
+//!
+//! Both sides run the complete ID phase through the `BenefitEstimator`
+//! seam on Table II profiles:
+//!
+//! * `mc_reference` — a forward Monte-Carlo `McEstimator` over a
+//!   pre-sampled 64-world cache: every greedy probe replays cascades
+//!   world by world.
+//! * `sketch` — build the reverse-reachability `SketchIndex` at its
+//!   default (ε, δ) = (0.1, 0.1), then run the same greedy loop against
+//!   the coverage oracle: probes become postings-list scans and the
+//!   index build is the only cascade work. The timing *includes* the
+//!   index build — the speedup quoted in the README is end-to-end.
+//!
+//! The two backends may legitimately pick different deployments (bounded
+//! by the sketch's additive error band — pinned by
+//! `tests/sketch_equivalence.rs`); here we only check both spend the
+//! budget sensibly before timing anything.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use osn_gen::DatasetProfile;
+use osn_propagation::{McEstimator, WorldCache};
+use osn_sketch::{SketchEstimator, SketchIndex, SketchParams};
+use s3crm_core::id_phase::{investment_deployment_with, ExploreTracker};
+
+const MC_WORLDS: usize = 64;
+const MAX_ITERS: usize = 200_000;
+
+fn bench_profile(c: &mut Criterion, profile: DatasetProfile, scale: f64) {
+    let inst = profile.generate(scale, 42).expect("instance");
+    let n = inst.graph.node_count();
+    let binv = inst.budget;
+    let params = SketchParams {
+        seed: 42,
+        ..SketchParams::default()
+    };
+
+    // Sanity before timing: both backends must produce a within-budget,
+    // non-trivial deployment.
+    {
+        let cache = WorldCache::sample(&inst.graph, MC_WORLDS, 42);
+        let mut t = ExploreTracker::new(n);
+        let mc =
+            investment_deployment_with(&inst.graph, &inst.data, binv, &mut t, MAX_ITERS, |s, k| {
+                McEstimator::new(&inst.graph, &inst.data, &cache, s, k)
+            });
+        let index = SketchIndex::build(&inst.graph, &inst.data, &params);
+        let mut t = ExploreTracker::new(n);
+        let sk =
+            investment_deployment_with(&inst.graph, &inst.data, binv, &mut t, MAX_ITERS, |s, k| {
+                SketchEstimator::new(&inst.graph, &inst.data, &index, s, k)
+            });
+        assert!(!mc.deployment.seeds.is_empty(), "MC arm picked no seeds");
+        assert!(
+            !sk.deployment.seeds.is_empty(),
+            "sketch arm picked no seeds"
+        );
+    }
+
+    let mut group = c.benchmark_group("sketch_selection");
+    group.sample_size(10);
+    let label = format!("{}_x{scale}", profile.name());
+
+    group.bench_with_input(
+        BenchmarkId::new("mc_reference", &label),
+        &binv,
+        |b, &binv| {
+            b.iter(|| {
+                let cache = WorldCache::sample(&inst.graph, MC_WORLDS, 42);
+                let mut tracker = ExploreTracker::new(n);
+                investment_deployment_with(
+                    &inst.graph,
+                    &inst.data,
+                    binv,
+                    &mut tracker,
+                    MAX_ITERS,
+                    |s, k| McEstimator::new(&inst.graph, &inst.data, &cache, s, k),
+                )
+            })
+        },
+    );
+    group.bench_with_input(BenchmarkId::new("sketch", &label), &binv, |b, &binv| {
+        b.iter(|| {
+            let index = SketchIndex::build(&inst.graph, &inst.data, &params);
+            let mut tracker = ExploreTracker::new(n);
+            investment_deployment_with(
+                &inst.graph,
+                &inst.data,
+                binv,
+                &mut tracker,
+                MAX_ITERS,
+                |s, k| SketchEstimator::new(&inst.graph, &inst.data, &index, s, k),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_sketch_selection(c: &mut Criterion) {
+    // The incremental_eval.rs workload, for apples-to-apples history.
+    bench_profile(c, DatasetProfile::Facebook, 0.25);
+    // The largest Google+-profile slice that fits CI comfortably.
+    bench_profile(c, DatasetProfile::GooglePlus, 0.05);
+}
+
+criterion_group!(benches, bench_sketch_selection);
+criterion_main!(benches);

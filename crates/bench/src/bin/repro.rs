@@ -8,6 +8,8 @@
 //! cargo run -p s3crm-bench --release --bin repro -- --cache .oscg-cache fig6
 //! cargo run -p s3crm-bench --release --bin repro -- --data soc-Epinions1.txt data
 //! cargo run -p s3crm-bench --release --bin repro -- convert edges.txt edges.oscg
+//! cargo run -p s3crm-bench --release --bin repro -- --estimator sketch fig9
+//! cargo run -p s3crm-bench --release --bin repro -- csvdiff a.csv b.csv 0.05
 //! ```
 //!
 //! Results print as aligned tables and are written as CSV under
@@ -67,6 +69,20 @@ fn parse_args() -> Args {
                 // repeated flag is an error rather than silently ignored.
                 osn_pool::init_global(threads).expect("duplicate --pool-size: pool already built");
             }
+            "--estimator" => {
+                // Which backend drives S3CA's ID phase. `mc` is the exact
+                // incremental engine with Monte-Carlo snapshot re-ranking
+                // (the reference, bit-identical to the pre-backend
+                // pipeline); `sketch` builds a reverse-reachability sketch
+                // index and runs the greedy loop against its coverage
+                // oracle (final objectives are re-evaluated analytically).
+                let v = it.next().expect("--estimator needs mc|sketch");
+                effort.estimator = match v.as_str() {
+                    "mc" => s3crm_core::EstimatorBackend::Mc,
+                    "sketch" => s3crm_core::EstimatorBackend::Sketch,
+                    other => panic!("--estimator must be mc or sketch, got {other}"),
+                };
+            }
             "--world-storage" => {
                 // Representation-only escape hatch: both storages hold the
                 // same skip-sampled live sets and produce byte-identical
@@ -88,10 +104,12 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: repro [--full|--micro] [--scale X] [--worlds N] [--seed N] \
-                     [--pool-size N] [--world-storage dense|sparse] [--out DIR] \
+                     [--pool-size N] [--world-storage dense|sparse] \
+                     [--estimator mc|sketch] [--out DIR] \
                      [--cache DIR] [--data PATH] \
                      [fig6 fig7 fig8 fig9 fig10 table3 table4 ablation extensions data]...\n\
-                     \x20      repro convert INPUT OUTPUT   # re-encode a dataset as .oscg"
+                     \x20      repro convert INPUT OUTPUT   # re-encode a dataset as .oscg\n\
+                     \x20      repro csvdiff A B TOL        # compare two CSVs (relative tolerance)"
                 );
                 std::process::exit(0);
             }
@@ -128,6 +146,73 @@ fn parse_args() -> Args {
     }
 }
 
+/// `repro csvdiff A B TOL` — compare two experiment CSVs cell by cell:
+/// numeric cells must agree within relative tolerance `TOL` (absolute for
+/// magnitudes below 1), non-numeric cells exactly. Exit 0 on match, 1 on
+/// divergence (each mismatch reported), 2 on usage/IO errors. CI uses this
+/// to bound the sketch-vs-MC objective gap and to byte-check the
+/// world-storage representations.
+fn run_csvdiff(paths: &[String]) -> ! {
+    let [a_path, b_path, tol] = paths else {
+        eprintln!("usage: repro csvdiff A B TOL");
+        std::process::exit(2);
+    };
+    let tol: f64 = tol.parse().unwrap_or_else(|_| {
+        eprintln!("csvdiff: TOL must be a number, got {tol:?}");
+        std::process::exit(2);
+    });
+    let read = |p: &String| -> Vec<String> {
+        match std::fs::read_to_string(p) {
+            Ok(s) => s.lines().map(str::to_string).collect(),
+            Err(e) => {
+                eprintln!("csvdiff: cannot read {p}: {e}");
+                std::process::exit(2);
+            }
+        }
+    };
+    let (a, b) = (read(a_path), read(b_path));
+    let mut mismatches = 0usize;
+    if a.len() != b.len() {
+        eprintln!("csvdiff: row count {} vs {}", a.len(), b.len());
+        mismatches += 1;
+    }
+    for (row, (la, lb)) in a.iter().zip(&b).enumerate() {
+        let (ca, cb): (Vec<&str>, Vec<&str>) = (la.split(',').collect(), lb.split(',').collect());
+        if ca.len() != cb.len() {
+            eprintln!(
+                "csvdiff: row {row}: column count {} vs {}",
+                ca.len(),
+                cb.len()
+            );
+            mismatches += 1;
+            continue;
+        }
+        for (col, (va, vb)) in ca.iter().zip(&cb).enumerate() {
+            match (va.trim().parse::<f64>(), vb.trim().parse::<f64>()) {
+                (Ok(x), Ok(y)) => {
+                    let scale = x.abs().max(y.abs()).max(1.0);
+                    if (x - y).abs() > tol * scale {
+                        eprintln!("csvdiff: row {row} col {col}: {x} vs {y} (tol {tol})");
+                        mismatches += 1;
+                    }
+                }
+                _ => {
+                    if va.trim() != vb.trim() {
+                        eprintln!("csvdiff: row {row} col {col}: {va:?} vs {vb:?}");
+                        mismatches += 1;
+                    }
+                }
+            }
+        }
+    }
+    if mismatches == 0 {
+        println!("csvdiff: {a_path} and {b_path} agree within {tol}");
+        std::process::exit(0);
+    }
+    eprintln!("csvdiff: {mismatches} mismatches");
+    std::process::exit(1);
+}
+
 /// `repro convert INPUT OUTPUT` — runs before the experiment loop.
 fn run_convert(paths: &[String]) -> ! {
     let [input, output] = paths else {
@@ -159,9 +244,12 @@ fn main() {
     if args.artifacts.first().map(String::as_str) == Some("convert") {
         run_convert(&args.artifacts[1..]);
     }
+    if args.artifacts.first().map(String::as_str) == Some("csvdiff") {
+        run_csvdiff(&args.artifacts[1..]);
+    }
     let e = &args.effort;
     println!(
-        "# S3CRM reproduction harness — scale x{}, {} eval worlds, seed {}, {} pool workers, {} world storage",
+        "# S3CRM reproduction harness — scale x{}, {} eval worlds, seed {}, {} pool workers, {} world storage, {} estimator",
         e.graph_scale,
         e.eval_worlds,
         e.seed,
@@ -169,6 +257,10 @@ fn main() {
         match osn_propagation::world::default_world_storage() {
             osn_propagation::WorldStorage::Sparse => "sparse",
             osn_propagation::WorldStorage::Dense => "dense",
+        },
+        match e.estimator {
+            s3crm_core::EstimatorBackend::Mc => "mc",
+            s3crm_core::EstimatorBackend::Sketch => "sketch",
         }
     );
     println!("# CSV output: {}\n", args.out_dir.display());

@@ -6,6 +6,7 @@
 //! overnight runs.
 
 use osn_gen::DatasetProfile;
+use s3crm_core::{EstimatorBackend, S3caConfig};
 use serde::{Deserialize, Serialize};
 
 /// Global knobs shared by every experiment.
@@ -19,6 +20,8 @@ pub struct Effort {
     pub im_worlds: usize,
     /// Deterministic master seed.
     pub seed: u64,
+    /// Estimation backend driving S3CA's ID phase (`--estimator`).
+    pub estimator: EstimatorBackend,
 }
 
 impl Effort {
@@ -29,6 +32,7 @@ impl Effort {
             eval_worlds: 200,
             im_worlds: 24,
             seed: 42,
+            estimator: EstimatorBackend::Mc,
         }
     }
 
@@ -39,6 +43,7 @@ impl Effort {
             eval_worlds: 64,
             im_worlds: 8,
             seed: 42,
+            estimator: EstimatorBackend::Mc,
         }
     }
 
@@ -49,6 +54,24 @@ impl Effort {
             eval_worlds: 1000,
             im_worlds: 64,
             seed: 42,
+            estimator: EstimatorBackend::Mc,
+        }
+    }
+
+    /// The [`S3caConfig`] this effort implies: the default full pipeline
+    /// under the selected estimation backend.
+    pub fn s3ca_config(&self) -> S3caConfig {
+        S3caConfig {
+            estimator: self.estimator,
+            ..S3caConfig::default()
+        }
+    }
+
+    /// As [`s3ca_config`](Self::s3ca_config), ID phase only.
+    pub fn s3ca_id_only(&self) -> S3caConfig {
+        S3caConfig {
+            estimator: self.estimator,
+            ..S3caConfig::id_only()
         }
     }
 

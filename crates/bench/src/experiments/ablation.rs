@@ -13,9 +13,8 @@ use crate::effort::Effort;
 use crate::table::{num, Table};
 use osn_gen::DatasetProfile;
 use osn_propagation::evaluator::BenefitEvaluator;
-use osn_propagation::world::WorldCache;
-use osn_propagation::{AnalyticEvaluator, MonteCarloEvaluator};
-use s3crm_core::{s3ca, S3caConfig};
+use osn_propagation::{AnalyticEvaluator, McBackend};
+use s3crm_core::s3ca;
 use std::time::Instant;
 
 /// Phase ablation across budget factors.
@@ -34,8 +33,8 @@ pub fn phase_ablation(profile: DatasetProfile, effort: &Effort) -> Table {
     );
     for factor in [0.6, 1.0, 1.4] {
         let binv = inst.budget * factor;
-        let id_only = s3ca(&inst.graph, &inst.data, binv, &S3caConfig::id_only());
-        let full = s3ca(&inst.graph, &inst.data, binv, &S3caConfig::default());
+        let id_only = s3ca(&inst.graph, &inst.data, binv, &effort.s3ca_id_only());
+        let full = s3ca(&inst.graph, &inst.data, binv, &effort.s3ca_config());
         let gain = if id_only.objective.rate > 0.0 {
             (full.objective.rate / id_only.objective.rate - 1.0) * 100.0
         } else {
@@ -58,7 +57,7 @@ pub fn phase_ablation(profile: DatasetProfile, effort: &Effort) -> Table {
 /// deployment for the instance.
 pub fn evaluator_ablation(profile: DatasetProfile, effort: &Effort) -> Table {
     let inst = crate::dataset::profile_instance(profile, effort);
-    let dep = s3ca(&inst.graph, &inst.data, inst.budget, &S3caConfig::default()).deployment;
+    let dep = s3ca(&inst.graph, &inst.data, inst.budget, &effort.s3ca_config()).deployment;
 
     let mut table = Table::new(
         format!("Ablation: benefit evaluator [{}]", profile.name()),
@@ -66,8 +65,9 @@ pub fn evaluator_ablation(profile: DatasetProfile, effort: &Effort) -> Table {
     );
 
     // Reference: the largest Monte-Carlo estimate.
-    let ref_cache = WorldCache::sample(&inst.graph, effort.eval_worlds * 4, effort.seed ^ 0xBEEF);
-    let reference = MonteCarloEvaluator::new(&inst.graph, &inst.data, &ref_cache)
+    let ref_backend = McBackend::sample(&inst.graph, effort.eval_worlds * 4, effort.seed ^ 0xBEEF);
+    let reference = ref_backend
+        .evaluator(&inst.graph, &inst.data)
         .expected_benefit(&dep.seeds, &dep.coupons);
 
     let t0 = Instant::now();
@@ -82,8 +82,8 @@ pub fn evaluator_ablation(profile: DatasetProfile, effort: &Effort) -> Table {
     ]);
 
     for worlds in [16, 64, 256] {
-        let cache = WorldCache::sample(&inst.graph, worlds, effort.seed ^ 0xAB);
-        let ev = MonteCarloEvaluator::new(&inst.graph, &inst.data, &cache);
+        let backend = McBackend::sample(&inst.graph, worlds, effort.seed ^ 0xAB);
+        let ev = backend.evaluator(&inst.graph, &inst.data);
         let t1 = Instant::now();
         let est = ev.expected_benefit(&dep.seeds, &dep.coupons);
         let us = t1.elapsed().as_micros() as f64;
@@ -108,6 +108,7 @@ mod tests {
             eval_worlds: 16,
             im_worlds: 8,
             seed: 9,
+            estimator: s3crm_core::EstimatorBackend::Mc,
         };
         let t = phase_ablation(DatasetProfile::Facebook, &effort);
         for row in &t.rows {

@@ -128,6 +128,7 @@ mod tests {
             eval_worlds: 16,
             im_worlds: 8,
             seed: 4,
+            estimator: s3crm_core::EstimatorBackend::Mc,
         }
     }
 

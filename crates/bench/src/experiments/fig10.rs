@@ -93,7 +93,7 @@ pub fn all_results_vs_opt(margins: &[f64], trials: usize, effort: &Effort) -> Ta
         for t in 0..trials {
             let (graph, data, binv) = small_instance(margin, effort.seed + t as u64);
             let s3ca_rate = {
-                let r = s3crm_core::s3ca(&graph, &data, binv, &s3crm_core::S3caConfig::default());
+                let r = s3crm_core::s3ca(&graph, &data, binv, &effort.s3ca_config());
                 // Analytic rate keeps Fig. 10(b) comparable with OPT, which
                 // is found under the same analytic objective.
                 r.objective.rate
@@ -124,6 +124,7 @@ mod tests {
             eval_worlds: 16,
             im_worlds: 8,
             seed: 21,
+            estimator: s3crm_core::EstimatorBackend::Mc,
         };
         let t = all_results_vs_opt(&[40.0], 2, &effort);
         assert_eq!(t.rows.len(), 2);

@@ -132,6 +132,7 @@ mod tests {
             eval_worlds: 32,
             im_worlds: 8,
             seed: 11,
+            estimator: s3crm_core::EstimatorBackend::Mc,
         }
     }
 

@@ -108,6 +108,7 @@ mod tests {
             eval_worlds: 16,
             im_worlds: 8,
             seed: 5,
+            estimator: s3crm_core::EstimatorBackend::Mc,
         };
         let t = seed_sc_vs_kappa(DatasetProfile::Facebook, &effort);
         assert_eq!(t.rows.len(), KAPPAS.len());

@@ -97,6 +97,7 @@ mod tests {
             eval_worlds: 16,
             im_worlds: 8,
             seed: 2,
+            estimator: s3crm_core::EstimatorBackend::Mc,
         };
         let (rate, ssc) = case_study(AIRBNB, &effort);
         assert_eq!(rate.rows.len(), MARGINS.len());

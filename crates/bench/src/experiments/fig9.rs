@@ -14,7 +14,7 @@ use osn_gen::powerlaw_cluster::powerlaw_cluster;
 use osn_gen::seeded_rng;
 use osn_gen::weights::{assign_weights, WeightModel};
 use osn_graph::{CsrGraph, NodeData};
-use s3crm_core::{s3ca, S3caConfig};
+use s3crm_core::s3ca;
 
 /// Build one synthetic scalability instance.
 pub fn synthetic_instance(n: usize, seed: u64) -> (CsrGraph, NodeData) {
@@ -49,7 +49,7 @@ pub fn vs_network_size(sizes: &[usize], binv: f64, effort: &Effort) -> Table {
     );
     for &n in sizes {
         let (graph, data) = synthetic_instance(n, effort.seed);
-        let result = s3ca(&graph, &data, binv, &S3caConfig::default());
+        let result = s3ca(&graph, &data, binv, &effort.s3ca_config());
         table.push_row(vec![
             n.to_string(),
             graph.edge_count().to_string(),
@@ -84,7 +84,7 @@ pub fn vs_budget(n: usize, budgets: &[f64], effort: &Effort) -> Table {
         ],
     );
     for &binv in budgets {
-        let result = s3ca(&graph, &data, binv, &S3caConfig::default());
+        let result = s3ca(&graph, &data, binv, &effort.s3ca_config());
         table.push_row(vec![
             num(binv),
             num(result.telemetry.total_micros() as f64 / 1e3),

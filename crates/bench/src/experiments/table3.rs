@@ -43,6 +43,7 @@ mod tests {
             eval_worlds: 16,
             im_worlds: 8,
             seed: 13,
+            estimator: s3crm_core::EstimatorBackend::Mc,
         };
         let t = farthest_hops(&[DatasetProfile::Facebook], &effort);
         assert_eq!(t.rows.len(), 1);

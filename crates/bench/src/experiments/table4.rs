@@ -6,7 +6,7 @@
 use crate::effort::Effort;
 use crate::table::{num, Table};
 use osn_gen::DatasetProfile;
-use s3crm_core::{s3ca, S3caConfig};
+use s3crm_core::s3ca;
 
 /// Budget factors matching the paper's five-point sweeps
 /// (e.g. Facebook 6K..14K around the 10K default).
@@ -26,7 +26,7 @@ pub fn running_time(profiles: &[DatasetProfile], effort: &Effort) -> Table {
                 &inst.graph,
                 &inst.data,
                 inst.budget * factor,
-                &S3caConfig::default(),
+                &effort.s3ca_config(),
             );
             cells.push(num(result.telemetry.total_micros() as f64 / 1e3));
         }
@@ -46,6 +46,7 @@ mod tests {
             eval_worlds: 8,
             im_worlds: 8,
             seed: 3,
+            estimator: s3crm_core::EstimatorBackend::Mc,
         };
         let t = running_time(&[DatasetProfile::Facebook], &effort);
         assert_eq!(t.headers.len(), 6);

@@ -17,7 +17,7 @@ use s3crm_baselines::im_s::im_s;
 use s3crm_baselines::pm::{pm_with_strategy, PmConfig};
 use s3crm_baselines::random_seeds::random_deployment;
 use s3crm_baselines::strategy::CouponStrategy;
-use s3crm_core::{s3ca, Deployment, S3caConfig, Telemetry};
+use s3crm_core::{s3ca, Deployment, Telemetry};
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 
@@ -112,11 +112,11 @@ pub fn run_algorithm(
     let start = Instant::now();
     let (deployment, telemetry) = match algorithm {
         Algorithm::S3ca => {
-            let r = s3ca(graph, data, binv, &S3caConfig::default());
+            let r = s3ca(graph, data, binv, &effort.s3ca_config());
             (r.deployment, Some(r.telemetry))
         }
         Algorithm::S3caIdOnly => {
-            let r = s3ca(graph, data, binv, &S3caConfig::id_only());
+            let r = s3ca(graph, data, binv, &effort.s3ca_id_only());
             (r.deployment, Some(r.telemetry))
         }
         Algorithm::ImU => (

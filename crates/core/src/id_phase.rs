@@ -39,7 +39,7 @@ use crate::objective::{self, ObjectiveValue};
 use crate::pivot::{PivotQueue, SeedPackage};
 use osn_graph::{CsrGraph, NodeData, NodeId};
 use osn_propagation::spread::SpreadState;
-use osn_propagation::{DeltaScratch, EngineCounters, RefreshDelta, SpreadEngine};
+use osn_propagation::{BenefitEstimator, DeltaScratch, EngineCounters, RefreshDelta, SpreadEngine};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -209,8 +209,13 @@ impl CandidateHeap {
         }
     }
 
-    fn rescore(&mut self, engine: &SpreadEngine<'_>, u: NodeId, scratch: &mut DeltaScratch) {
-        let (db, dc) = engine.coupon_add_delta(u, scratch);
+    fn rescore<E: BenefitEstimator + ?Sized>(
+        &mut self,
+        est: &E,
+        u: NodeId,
+        scratch: &mut DeltaScratch,
+    ) {
+        let (db, dc) = est.coupon_add_delta(u, scratch);
         self.db[u.index()] = db;
         self.dc[u.index()] = dc;
         self.scored[u.index()] = true;
@@ -234,17 +239,16 @@ impl CandidateHeap {
         });
     }
 
-    fn is_candidate(engine: &SpreadEngine<'_>, graph: &CsrGraph, u: NodeId) -> bool {
-        engine.active_prob()[u.index()] > 0.0
-            && engine.coupons()[u.index()] < graph.out_degree(u) as u32
+    fn is_candidate<E: BenefitEstimator + ?Sized>(est: &E, graph: &CsrGraph, u: NodeId) -> bool {
+        est.active_prob()[u.index()] > 0.0 && est.coupons()[u.index()] < graph.out_degree(u) as u32
     }
 
     /// Full re-index after a structural change: positions shift, membership
     /// may change, but exact cached marginals of untouched candidates are
     /// reused as-is.
-    fn rebuild_all(
+    fn rebuild_all<E: BenefitEstimator + ?Sized>(
         &mut self,
-        engine: &SpreadEngine<'_>,
+        est: &E,
         graph: &CsrGraph,
         scratch: &mut DeltaScratch,
     ) {
@@ -252,13 +256,13 @@ impl CandidateHeap {
         for v in self.version.iter_mut() {
             *v = v.wrapping_add(1);
         }
-        for (p, &u) in engine.order().iter().enumerate() {
+        for (p, &u) in est.order().iter().enumerate() {
             self.pos[u.index()] = p as u32;
-            if !Self::is_candidate(engine, graph, u) {
+            if !Self::is_candidate(est, graph, u) {
                 continue;
             }
             if !self.scored[u.index()] {
-                self.rescore(engine, u, scratch);
+                self.rescore(est, u, scratch);
             }
             self.push_if_positive(u);
         }
@@ -267,9 +271,9 @@ impl CandidateHeap {
     /// Fold a committed move's refresh delta into the index: only nodes
     /// whose marginal inputs changed (bitwise) are invalidated and
     /// re-scored.
-    fn apply(
+    fn apply<E: BenefitEstimator + ?Sized>(
         &mut self,
-        engine: &SpreadEngine<'_>,
+        est: &E,
         graph: &CsrGraph,
         delta: &RefreshDelta,
         moved: NodeId,
@@ -304,14 +308,14 @@ impl CandidateHeap {
         }
         if delta.structural {
             self.dirty = dirty;
-            self.rebuild_all(engine, graph, scratch);
+            self.rebuild_all(est, graph, scratch);
             self.dirty.clear();
             return;
         }
         for &u in &dirty {
             self.version[u.index()] = self.version[u.index()].wrapping_add(1);
-            if Self::is_candidate(engine, graph, u) {
-                self.rescore(engine, u, scratch);
+            if Self::is_candidate(est, graph, u) {
+                self.rescore(est, u, scratch);
                 self.push_if_positive(u);
             }
         }
@@ -350,12 +354,16 @@ impl CandidateHeap {
 /// Mark every node the exhaustive scan would have expanded this iteration
 /// (candidate-set parity with the reference implementation keeps Fig. 9's
 /// explored ratio byte-identical).
-fn mark_explored(engine: &SpreadEngine<'_>, graph: &CsrGraph, explored: &mut ExploreTracker) {
-    for &u in engine.order() {
-        if engine.active_prob()[u.index()] <= 0.0 {
+fn mark_explored<E: BenefitEstimator + ?Sized>(
+    est: &E,
+    graph: &CsrGraph,
+    explored: &mut ExploreTracker,
+) {
+    for &u in est.order() {
+        if est.active_prob()[u.index()] <= 0.0 {
             continue;
         }
-        if engine.coupons()[u.index()] >= graph.out_degree(u) as u32 {
+        if est.coupons()[u.index()] >= graph.out_degree(u) as u32 {
             continue;
         }
         explored.mark(u);
@@ -374,6 +382,40 @@ pub fn investment_deployment(
     explored: &mut ExploreTracker,
     max_iterations: usize,
 ) -> IdOutcome {
+    // The closure monomorphizes `investment_deployment_with` to the exact
+    // engine; the trait impl is pure delegation, so this compiles to the
+    // same floating-point sequence as the pre-seam hard-wired loop.
+    investment_deployment_with(
+        graph,
+        data,
+        binv,
+        explored,
+        max_iterations,
+        |seeds, coupons| SpreadEngine::new(graph, data, seeds, coupons),
+    )
+}
+
+/// The generic ID phase: identical greedy loop, driven through any
+/// [`BenefitEstimator`] built by `make_estimator` from the initial pivot
+/// deployment. [`investment_deployment`] instantiates it with the exact
+/// [`SpreadEngine`]; the `--estimator sketch` path instantiates it with the
+/// `osn-sketch` coverage oracle. The objective values reported in the
+/// outcome carry the *backend's* benefit estimates (costs are exact by the
+/// estimator contract); callers that need the analytic objective of a
+/// non-exact backend's deployment re-evaluate it with
+/// [`objective::evaluate`].
+pub fn investment_deployment_with<E, F>(
+    graph: &CsrGraph,
+    data: &NodeData,
+    binv: f64,
+    explored: &mut ExploreTracker,
+    max_iterations: usize,
+    make_estimator: F,
+) -> IdOutcome
+where
+    E: BenefitEstimator,
+    F: FnOnce(&[NodeId], &[u32]) -> E,
+{
     let n = graph.node_count();
     let mut queue = PivotQueue::build(graph, data, binv);
     let mut dep = Deployment::empty(n);
@@ -386,8 +428,8 @@ pub fn investment_deployment(
     explored.mark(first.node);
 
     let mut pivot = next_usable_pivot(&mut queue, &dep);
-    let mut engine = SpreadEngine::new(graph, data, &dep.seeds, &dep.coupons);
-    let mut value = objective::value_from_engine(&engine);
+    let mut engine = make_estimator(&dep.seeds, &dep.coupons);
+    let mut value = objective::value_from_estimator(&engine);
     let mut scratch = DeltaScratch::default();
     let mut cache = CandidateHeap::new(n);
     cache.rebuild_all(&engine, graph, &mut scratch);
@@ -446,7 +488,7 @@ pub fn investment_deployment(
         }
         iterations += 1;
 
-        value = objective::value_from_engine(&engine);
+        value = objective::value_from_estimator(&engine);
         // Ties favor the later (larger) deployment, so equal-rate pivot
         // additions keep extending the spread instead of freezing D* at the
         // first snapshot.

@@ -53,4 +53,4 @@ pub mod special_cases;
 pub use deployment::Deployment;
 pub use instance::Instance;
 pub use objective::ObjectiveValue;
-pub use s3ca::{s3ca, S3caConfig, S3caResult, Telemetry};
+pub use s3ca::{s3ca, EstimatorBackend, S3caConfig, S3caResult, Telemetry};

@@ -50,9 +50,20 @@ pub fn evaluate(graph: &CsrGraph, data: &NodeData, dep: &Deployment) -> Objectiv
 /// SC cost under the same contract, and the seed cost is the same running
 /// sum.
 pub fn value_from_engine(engine: &osn_propagation::SpreadEngine<'_>) -> ObjectiveValue {
-    let benefit = engine.expected_benefit();
-    let seed = engine.seed_cost();
-    let sc = engine.sc_cost();
+    value_from_estimator(engine)
+}
+
+/// Objective of any maintained [`BenefitEstimator`]: the costs are exact by
+/// the estimator contract, the benefit carries the backend's estimation
+/// error. Same arithmetic as [`value_from_engine`] (which is this function
+/// monomorphized to the exact engine), so swapping backends changes the
+/// benefit estimate only, never how the rate is assembled.
+pub fn value_from_estimator<E: osn_propagation::BenefitEstimator + ?Sized>(
+    est: &E,
+) -> ObjectiveValue {
+    let benefit = est.expected_benefit();
+    let seed = est.seed_cost();
+    let sc = est.sc_cost();
     ObjectiveValue {
         benefit,
         seed_cost: seed,

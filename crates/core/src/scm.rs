@@ -25,7 +25,7 @@ use crate::deployment::Deployment;
 use crate::gpi::GpForest;
 use crate::objective::{self, ObjectiveValue};
 use osn_graph::{CsrGraph, NodeData, NodeId};
-use osn_propagation::{DeltaScratch, EngineCounters, SpreadEngine};
+use osn_propagation::{BenefitEstimator, DeltaScratch, EngineCounters, SpreadEngine};
 
 /// Summary of the maneuvering phase.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -51,7 +51,12 @@ struct Candidate {
 }
 
 /// Run the SC-Maneuver phase in place; returns the final objective and
-/// statistics.
+/// statistics. Production SCM always runs on the exact analytic
+/// [`SpreadEngine`] — maneuver planning is dominated by O(deg) removal
+/// probes, which the engine serves from cached holder DPs, so there is
+/// nothing for a sampling backend to speed up here — but the loop itself is
+/// the generic [`sc_maneuver_with`], so a backend can be slotted in for
+/// experiments.
 pub fn sc_maneuver(
     graph: &CsrGraph,
     data: &NodeData,
@@ -60,12 +65,34 @@ pub fn sc_maneuver(
     forests: &[GpForest],
     max_paths: usize,
 ) -> (ObjectiveValue, ScmStats) {
+    sc_maneuver_with(graph, binv, dep, forests, max_paths, |seeds, coupons| {
+        SpreadEngine::new(graph, data, seeds, coupons)
+    })
+}
+
+/// The generic SC-Maneuver loop, driven through any cloneable
+/// [`BenefitEstimator`] built by `make_estimator` from the phase's input
+/// deployment. Tentative plans run on estimator clones kept in lockstep
+/// with the tentative coupon vector; a plan is committed only when its
+/// objective strictly improves within budget.
+pub fn sc_maneuver_with<E, F>(
+    graph: &CsrGraph,
+    binv: f64,
+    dep: &mut Deployment,
+    forests: &[GpForest],
+    max_paths: usize,
+    make_estimator: F,
+) -> (ObjectiveValue, ScmStats)
+where
+    E: BenefitEstimator + Clone,
+    F: FnOnce(&[NodeId], &[u32]) -> E,
+{
     let mut stats = ScmStats::default();
-    // The engine tracks the live deployment; tentative plans run on clones
-    // that reuse every cached holder DP, so no maneuver ever re-evaluates
-    // the spread from scratch.
-    let mut engine = SpreadEngine::new(graph, data, &dep.seeds, &dep.coupons);
-    let mut current = objective::value_from_engine(&engine);
+    // The estimator tracks the live deployment; tentative plans run on
+    // clones (the exact engine's clones reuse every cached holder DP), so
+    // no maneuver ever re-evaluates the spread from scratch.
+    let mut engine = make_estimator(&dep.seeds, &dep.coupons);
+    let mut current = objective::value_from_estimator(&engine);
     let mut scratch = DeltaScratch::default();
 
     let mut candidates = collect_candidates(dep, forests, &engine, &current);
@@ -95,7 +122,7 @@ pub fn sc_maneuver(
             &mut scratch,
             &mut stats.eval,
         ) {
-            let value = objective::value_from_engine(&tent_engine);
+            let value = objective::value_from_estimator(&tent_engine);
             if value.rate > current.rate * (1.0 + 1e-12) && value.within_budget(binv) {
                 *dep = tentative;
                 engine = tent_engine;
@@ -109,10 +136,10 @@ pub fn sc_maneuver(
 }
 
 /// Filter GPs by the Alg. 1 line-28 preconditions and score their AIs.
-fn collect_candidates(
+fn collect_candidates<E: BenefitEstimator>(
     dep: &Deployment,
     forests: &[GpForest],
-    state: &SpreadEngine<'_>,
+    state: &E,
     current: &ObjectiveValue,
 ) -> Vec<Candidate> {
     let mut out = Vec::new();
@@ -165,10 +192,10 @@ fn parent_unfunded(forest: &GpForest, visit_index: usize, dep: &Deployment) -> b
 
 /// Nearest ascendant (by DFS parent chain) that is possibly activated under
 /// the current deployment — positive activation probability or a seed.
-fn nearest_activated_ascendant(
+fn nearest_activated_ascendant<E: BenefitEstimator>(
     forest: &GpForest,
     visit_index: usize,
-    state: &SpreadEngine<'_>,
+    state: &E,
 ) -> Option<usize> {
     forest.ascendants(visit_index).find(|&i| {
         let node = forest.visits[i].node;
@@ -182,16 +209,16 @@ fn nearest_activated_ascendant(
 /// when the deficit cannot be sourced under the `Id < β` gate. Engine
 /// effort — whether or not the plan survives — accumulates into `eval`.
 #[allow(clippy::too_many_arguments)]
-fn plan_maneuver<'a>(
+fn plan_maneuver<E: BenefitEstimator + Clone>(
     graph: &CsrGraph,
     dep: &Deployment,
     forest: &GpForest,
     visit_index: usize,
     beta: f64,
-    base_engine: &SpreadEngine<'a>,
+    base_engine: &E,
     scratch: &mut DeltaScratch,
     eval: &mut EngineCounters,
-) -> Option<(SpreadEngine<'a>, Deployment, u64)> {
+) -> Option<(E, Deployment, u64)> {
     // Receiver targets: the GP's K̂ allocation.
     let allocation = forest.allocation(visit_index);
     let mut target = vec![0u32; dep.len()];
@@ -255,8 +282,8 @@ fn plan_maneuver<'a>(
 /// deltas against the tentative deployment's spread state — served by the
 /// lockstep engine from its cached holder DPs instead of a from-scratch
 /// re-evaluation per donor pick.
-fn best_donor(
-    engine: &SpreadEngine<'_>,
+fn best_donor<E: BenefitEstimator>(
+    engine: &E,
     tentative: &Deployment,
     target: &[u32],
     beta: f64,

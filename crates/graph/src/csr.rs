@@ -277,6 +277,41 @@ impl CsrGraph {
     pub fn edge_targets_flat(&self) -> &[NodeId] {
         &self.targets
     }
+
+    /// Flat reverse adjacency offsets (length `n + 1`): the reverse slots of
+    /// target `v` are `in_offsets[v]..in_offsets[v + 1]` into
+    /// [`in_sources`](Self::in_sources) and [`in_edge_ids`](Self::in_edge_ids).
+    #[inline]
+    pub fn in_offsets(&self) -> &[u64] {
+        &self.in_offsets
+    }
+
+    /// The **forward edge id** of every reverse-adjacency slot: element `s`
+    /// of the returned vector is the stable edge id (the index into
+    /// [`edge_probs_flat`](Self::edge_probs_flat) and per-world live-edge
+    /// bitsets) of the edge whose reverse entry sits at slot `s` of the flat
+    /// reverse arrays. Reverse-reachability sampling needs this to test a
+    /// reverse-walked edge's liveness in a forward-sampled world, and to
+    /// recover the edge's rank (`eid - out_edge_ids(src).start`) for the
+    /// coupon-demand gate. One `O(n + m)` cursor pass; call once and reuse.
+    pub fn in_edge_ids(&self) -> Vec<u32> {
+        let mut cursor: Vec<u64> = self.in_offsets[..self.n as usize].to_vec();
+        let mut ids = vec![0u32; self.edge_count()];
+        // Ascending-source forward traversal fills each target's reverse
+        // slots in the same ascending-source order the counting sort used,
+        // so slot `s` receives exactly the edge recorded in
+        // `in_sources[s]`/`in_probs[s]`.
+        for u in self.nodes() {
+            for eid in self.out_edge_ids(u) {
+                let v = self.targets[eid as usize];
+                let slot = cursor[v.index()] as usize;
+                debug_assert_eq!(self.in_sources[slot], u, "reverse slot order mismatch");
+                ids[slot] = eid;
+                cursor[v.index()] += 1;
+            }
+        }
+        ids
+    }
 }
 
 #[cfg(test)]
@@ -346,6 +381,25 @@ mod tests {
         let r1 = g.out_edge_ids(NodeId(1));
         assert_eq!(r0, 0..2);
         assert_eq!(r1, 2..3);
+    }
+
+    #[test]
+    fn in_edge_ids_map_reverse_slots_to_forward_ids() {
+        let g = diamond();
+        let ids = g.in_edge_ids();
+        assert_eq!(ids.len(), g.edge_count());
+        // Every reverse slot's edge id must point back at an edge whose
+        // target is the slot's owner and whose source/prob match.
+        for v in g.nodes() {
+            let lo = g.in_offsets()[v.index()] as usize;
+            for (slot, (src, p)) in g.ranked_in(v).enumerate() {
+                let eid = ids[lo + slot] as usize;
+                assert_eq!(g.edge_targets_flat()[eid], v);
+                assert_eq!(g.edge_probs_flat()[eid], p);
+                let r = g.out_edge_ids(src);
+                assert!(r.contains(&(eid as u32)), "edge id outside source range");
+            }
+        }
     }
 
     #[test]

@@ -55,6 +55,34 @@ impl BitVec {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
+    /// Number of set bits in `[lo, hi)` — one masked popcount per word.
+    /// Reverse-reachability sampling uses this to count the live
+    /// earlier-ranked siblings of an edge (its coupon demand) without
+    /// visiting individual bits.
+    pub fn count_ones_in(&self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo <= hi && hi <= self.len);
+        if lo >= hi {
+            return 0;
+        }
+        let first_w = lo >> 6;
+        let last_w = (hi - 1) >> 6;
+        let mut count = 0usize;
+        for w in first_w..=last_w {
+            let mut word = self.words[w];
+            if w == first_w {
+                word &= !0u64 << (lo & 63);
+            }
+            if w == last_w {
+                let top = hi & 63;
+                if top != 0 {
+                    word &= (1u64 << top) - 1;
+                }
+            }
+            count += word.count_ones() as usize;
+        }
+        count
+    }
+
     /// Heap bytes held by the bit words.
     pub fn resident_bytes(&self) -> usize {
         self.words.len() * std::mem::size_of::<u64>()
@@ -172,6 +200,26 @@ mod tests {
             });
             let want: Vec<usize> = (lo..hi).filter(|&i| b.get(i)).collect();
             assert_eq!(seen, want, "range [{lo}, {hi})");
+        }
+    }
+
+    #[test]
+    fn count_ones_in_matches_naive_scan() {
+        let mut b = BitVec::zeros(200);
+        for i in [0, 3, 63, 64, 65, 127, 128, 199] {
+            b.set(i, true);
+        }
+        for (lo, hi) in [
+            (0, 200),
+            (0, 0),
+            (64, 64),
+            (1, 64),
+            (63, 65),
+            (100, 199),
+            (128, 129),
+        ] {
+            let naive = (lo..hi).filter(|&i| b.get(i)).count();
+            assert_eq!(b.count_ones_in(lo, hi), naive, "range [{lo}, {hi})");
         }
     }
 

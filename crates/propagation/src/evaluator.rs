@@ -36,14 +36,19 @@ pub trait BenefitEvaluator {
     fn activation_probabilities(&self, seeds: &[NodeId], coupons: &[u32]) -> Vec<f64>;
 
     /// Full simulation statistics of one deployment. The default assembles
-    /// benefit and activation mass from the two required methods; hop and
-    /// redeemed-cost statistics are evaluator-specific and default to zero
-    /// (the Monte-Carlo implementation overrides with real per-world data).
+    /// benefit and activation mass from the two required methods and sets
+    /// [`SimulationStats::cascade`] to `None`: hop and redeemed-cost
+    /// averages exist only for evaluators that actually run per-world
+    /// cascades (the Monte-Carlo implementation overrides this with real
+    /// data). The `Option` is the contract — an implementation without
+    /// per-world data must **not** fabricate zeros, and a consumer that
+    /// feeds cascade columns (e.g. Table III hop reports) must handle the
+    /// `None` case explicitly.
     fn simulate(&self, seeds: &[NodeId], coupons: &[u32]) -> SimulationStats {
         SimulationStats {
             expected_benefit: self.expected_benefit(seeds, coupons),
             mean_activated: self.activation_probabilities(seeds, coupons).iter().sum(),
-            ..SimulationStats::default()
+            cascade: None,
         }
     }
 
@@ -83,12 +88,13 @@ impl BenefitEvaluator for AnalyticEvaluator<'_> {
     }
 
     fn simulate(&self, seeds: &[NodeId], coupons: &[u32]) -> SimulationStats {
-        // One SpreadState evaluation serves both statistics.
+        // One SpreadState evaluation serves both statistics. No cascade is
+        // run, so no cascade averages exist (see the trait contract).
         let state = SpreadState::evaluate(self.graph, self.data, seeds, coupons);
         SimulationStats {
             expected_benefit: state.expected_benefit,
             mean_activated: state.active_prob.iter().sum(),
-            ..SimulationStats::default()
+            cascade: None,
         }
     }
 }

@@ -49,6 +49,18 @@
 //!
 //! ## Evaluation architecture
 //!
+//! The greedy phases drive estimation through the [`estimator`] seam:
+//! [`estimator::BenefitEstimator`] is the *stateful* surface (maintained
+//! deployment view + committed moves + marginal probes) that
+//! `s3crm-core`'s ID phase, SCM, and the baselines are generic over. The
+//! incremental [`SpreadEngine`] is the exact reference implementation (its
+//! trait impl is pure delegation, so the seam costs no bits);
+//! [`estimator::McEstimator`] is the forward Monte-Carlo backend; the
+//! `osn-sketch` crate provides the reverse-reachability coverage oracle.
+//! Costs (`Cseed`, `Csc`, probe ΔCsc) are exact analytic values in **every**
+//! backend — only the benefit side carries estimation error — so budget
+//! feasibility never depends on the estimator choice.
+//!
 //! Analytic evaluation has two entry points with one arithmetic:
 //!
 //! * **One-shot**: [`SpreadState::evaluate`] — BFS the coupon spread,
@@ -147,6 +159,7 @@ pub mod bits;
 pub mod cascade;
 pub mod cost;
 pub mod engine;
+pub mod estimator;
 pub mod evaluator;
 pub mod linear_threshold;
 pub mod metrics;
@@ -159,8 +172,9 @@ pub mod world;
 pub use cascade::{simulate_cascade, CascadeOutcome};
 pub use cost::{expected_sc_cost, redemption_rate, seed_cost, total_cost};
 pub use engine::{DeltaScratch, EngineCounters, RefreshDelta, SpreadEngine};
+pub use estimator::{BenefitEstimator, McEstimator};
 pub use evaluator::{AnalyticEvaluator, BenefitEvaluator, DeploymentRef};
 pub use metrics::RedemptionReport;
-pub use monte_carlo::{MonteCarloEvaluator, SimulationStats};
+pub use monte_carlo::{McBackend, MonteCarloEvaluator, SimulationStats};
 pub use spread::SpreadState;
 pub use world::{WorldCache, WorldRef, WorldStorage};

@@ -67,7 +67,11 @@ impl RedemptionReport {
     }
 
     /// Assemble a report from already-simulated statistics plus the
-    /// analytic Table-I cost model.
+    /// analytic Table-I cost model. The hop column (Table III) requires
+    /// per-world cascade data; statistics from an evaluator that never ran
+    /// cascades carry [`SimulationStats::cascade`]` = None` and would
+    /// silently report a bogus zero hop count here, so that is rejected in
+    /// debug builds.
     pub fn from_stats(
         graph: &CsrGraph,
         data: &NodeData,
@@ -75,8 +79,14 @@ impl RedemptionReport {
         coupons: &[u32],
         stats: SimulationStats,
     ) -> Self {
+        debug_assert!(
+            stats.cascade.is_some(),
+            "RedemptionReport::from_stats needs cascade statistics; \
+             use from_parts for analytic-only estimates"
+        );
+        let cascade = stats.cascade.unwrap_or_default();
         Self::from_parts(graph, data, seeds, coupons, stats.expected_benefit)
-            .with_hops(stats.mean_farthest_hop, stats.mean_activated)
+            .with_hops(cascade.mean_farthest_hop, stats.mean_activated)
     }
 
     /// Build a report from a pre-computed benefit estimate (used when the

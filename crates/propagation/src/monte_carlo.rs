@@ -70,18 +70,31 @@ const MATERIALIZE_BATCH: usize = 4;
 /// from the worker count) is what makes estimates machine-independent.
 pub const PART_WORLDS: usize = 32;
 
+/// Per-world cascade averages that only a world-simulating evaluator can
+/// produce. Analytic backends have no notion of a realized cascade, so
+/// [`SimulationStats`] carries these as an explicit `Option` instead of
+/// silently zeroed fields — a consumer that needs hop or redeemed-cost
+/// columns must confront the `None` case.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CascadeAverages {
+    /// Mean redeemed coupon cost (the *realized* coupon spend, as opposed to
+    /// the Table-I allocation cost used in the objective).
+    pub mean_redeemed_sc_cost: f64,
+    /// Mean farthest hop from the seed set (Table III's metric).
+    pub mean_farthest_hop: f64,
+}
+
 /// Aggregated Monte-Carlo statistics of a deployment.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct SimulationStats {
     /// Mean total benefit across worlds — the estimate of `B(S, K(I))`.
     pub expected_benefit: f64,
-    /// Mean redeemed coupon cost (the *realized* coupon spend, as opposed to
-    /// the Table-I allocation cost used in the objective).
-    pub mean_redeemed_sc_cost: f64,
     /// Mean number of activated users.
     pub mean_activated: f64,
-    /// Mean farthest hop from the seed set (Table III's metric).
-    pub mean_farthest_hop: f64,
+    /// Per-world cascade statistics; `None` when the evaluator runs no
+    /// cascades (the [`BenefitEvaluator`] default and the analytic
+    /// implementation).
+    pub cascade: Option<CascadeAverages>,
 }
 
 /// Monte-Carlo evaluator bound to one instance, one world cache, and one
@@ -144,9 +157,11 @@ impl<'a> MonteCarloEvaluator<'a> {
             .into_iter()
             .map(|t| SimulationStats {
                 expected_benefit: t.benefit / rf,
-                mean_redeemed_sc_cost: t.redeemed_sc_cost / rf,
                 mean_activated: t.activated as f64 / rf,
-                mean_farthest_hop: t.farthest_hop_sum / rf,
+                cascade: Some(CascadeAverages {
+                    mean_redeemed_sc_cost: t.redeemed_sc_cost / rf,
+                    mean_farthest_hop: t.farthest_hop_sum / rf,
+                }),
             })
             .collect()
     }
@@ -254,6 +269,55 @@ impl<'a> MonteCarloEvaluator<'a> {
             merge_into(&mut acc, part);
         }
         acc
+    }
+}
+
+/// The owning Monte-Carlo backend factory: one sampled world cache plus the
+/// canonical way to stand up evaluators over it. This replaces the
+/// `WorldCache::sample` + `MonteCarloEvaluator::new(graph, data, &cache)`
+/// pair that used to be copy-pasted across `s3ca` and the bench
+/// experiments — sampling parameters and evaluator construction live in one
+/// place.
+pub struct McBackend {
+    cache: WorldCache,
+}
+
+impl McBackend {
+    /// Sample `worlds` worlds with streams seeded from `seed` (the
+    /// process-default storage, the shared global pool).
+    pub fn sample(graph: &CsrGraph, worlds: usize, seed: u64) -> Self {
+        McBackend {
+            cache: WorldCache::sample(graph, worlds, seed),
+        }
+    }
+
+    /// Wrap an already-sampled cache.
+    pub fn from_cache(cache: WorldCache) -> Self {
+        McBackend { cache }
+    }
+
+    /// The backing world cache (telemetry reads sizes and densities here).
+    pub fn cache(&self) -> &WorldCache {
+        &self.cache
+    }
+
+    /// A batched evaluator over the backing cache on the global pool.
+    pub fn evaluator<'a>(
+        &'a self,
+        graph: &'a CsrGraph,
+        data: &'a NodeData,
+    ) -> MonteCarloEvaluator<'a> {
+        MonteCarloEvaluator::new(graph, data, &self.cache)
+    }
+
+    /// As [`evaluator`](Self::evaluator), folding on an explicit pool.
+    pub fn evaluator_on<'a>(
+        &'a self,
+        graph: &'a CsrGraph,
+        data: &'a NodeData,
+        pool: &'a ThreadPool,
+    ) -> MonteCarloEvaluator<'a> {
+        MonteCarloEvaluator::with_pool(graph, data, &self.cache, pool)
     }
 }
 
@@ -502,7 +566,8 @@ mod tests {
         let cache = WorldCache::sample(&g, 8, 2);
         let ev = MonteCarloEvaluator::new(&g, &d, &cache);
         let stats = ev.simulate(&[NodeId(0)], &[1, 1, 0]);
-        assert_eq!(stats.mean_farthest_hop, 2.0);
+        let cascade = stats.cascade.expect("MC stats carry cascade data");
+        assert_eq!(cascade.mean_farthest_hop, 2.0);
         assert_eq!(stats.mean_activated, 3.0);
     }
 }

@@ -235,9 +235,11 @@ proptest! {
                     want.expected_benefit.to_bits(),
                     "candidate {} benefit, {} workers", i, threads
                 );
+                let got_cascade = got.cascade.expect("MC stats carry cascade data");
+                let want_cascade = want.cascade.expect("MC stats carry cascade data");
                 prop_assert_eq!(
-                    got.mean_redeemed_sc_cost.to_bits(),
-                    want.mean_redeemed_sc_cost.to_bits(),
+                    got_cascade.mean_redeemed_sc_cost.to_bits(),
+                    want_cascade.mean_redeemed_sc_cost.to_bits(),
                     "candidate {} redeemed cost, {} workers", i, threads
                 );
                 prop_assert_eq!(
@@ -246,8 +248,8 @@ proptest! {
                     "candidate {} activated, {} workers", i, threads
                 );
                 prop_assert_eq!(
-                    got.mean_farthest_hop.to_bits(),
-                    want.mean_farthest_hop.to_bits(),
+                    got_cascade.mean_farthest_hop.to_bits(),
+                    want_cascade.mean_farthest_hop.to_bits(),
                     "candidate {} hops, {} workers", i, threads
                 );
             }

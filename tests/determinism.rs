@@ -308,12 +308,13 @@ fn binary_loaded_graph_byte_matches_text_loaded_run() {
         // The rendered CSV cells — what an experiment actually writes —
         // must match byte for byte, not just numerically.
         let csv = |stats: &SimulationStats| {
+            let cascade = stats.cascade.expect("MC stats carry cascade data");
             format!(
                 "{},{},{},{}",
                 stats.expected_benefit,
-                stats.mean_redeemed_sc_cost,
+                cascade.mean_redeemed_sc_cost,
                 stats.mean_activated,
-                stats.mean_farthest_hop
+                cascade.mean_farthest_hop
             )
         };
         assert_eq!(
@@ -383,12 +384,13 @@ fn incremental_engine_matches_reference_csv_at_pinned_pool_sizes() {
             let cache = WorldCache::sample_with_pool(&inst.graph, 96, 23, pool);
             let ev = MonteCarloEvaluator::with_pool(&inst.graph, &inst.data, &cache, pool);
             let stats = ev.simulate(&dep.seeds, &dep.coupons);
+            let cascade = stats.cascade.expect("MC stats carry cascade data");
             format!(
                 "{},{},{},{}",
                 stats.expected_benefit,
-                stats.mean_redeemed_sc_cost,
+                cascade.mean_redeemed_sc_cost,
                 stats.mean_activated,
-                stats.mean_farthest_hop
+                cascade.mean_farthest_hop
             )
         };
         let full = s3ca(&inst.graph, &inst.data, inst.budget, &S3caConfig::default());
