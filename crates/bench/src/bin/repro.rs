@@ -96,6 +96,20 @@ fn parse_args() -> Args {
                 };
                 osn_propagation::world::set_default_world_storage(storage);
             }
+            "--cascade-kernel" => {
+                // Execution-strategy escape hatch: the bit-parallel lane
+                // kernel (default) and the scalar reference produce
+                // bit-identical estimates (CI diffs their CSVs); scalar
+                // exists as the bit-identity reference and for perf
+                // comparisons.
+                let v = it.next().expect("--cascade-kernel needs lane|scalar");
+                let kernel = match v.as_str() {
+                    "lane" => osn_propagation::CascadeKernel::Lane,
+                    "scalar" => osn_propagation::CascadeKernel::Scalar,
+                    other => panic!("--cascade-kernel must be lane or scalar, got {other}"),
+                };
+                osn_propagation::set_default_cascade_kernel(kernel);
+            }
             "--out" => out_dir = PathBuf::from(it.next().expect("--out needs a path")),
             "--data" => data = Some(PathBuf::from(it.next().expect("--data needs a path"))),
             "--cache" => {
@@ -105,6 +119,7 @@ fn parse_args() -> Args {
                 eprintln!(
                     "usage: repro [--full|--micro] [--scale X] [--worlds N] [--seed N] \
                      [--pool-size N] [--world-storage dense|sparse] \
+                     [--cascade-kernel lane|scalar] \
                      [--estimator mc|sketch] [--out DIR] \
                      [--cache DIR] [--data PATH] \
                      [fig6 fig7 fig8 fig9 fig10 table3 table4 ablation extensions data]...\n\
@@ -146,12 +161,30 @@ fn parse_args() -> Args {
     }
 }
 
+/// Do two numeric CSV cells agree within relative tolerance `tol`
+/// (absolute for magnitudes below 1)? Non-finite values never hide behind
+/// the tolerance: `NaN` matches nothing (a NaN objective is exactly the
+/// corruption csvdiff exists to catch, and every comparison against NaN is
+/// false — the old `> tol*scale` test silently passed it), and `±inf`
+/// matches only the same-signed `inf` (`inf - finite` is `inf`, but so is
+/// `tol * inf`, so the old test passed that too).
+fn numeric_cells_match(x: f64, y: f64, tol: f64) -> bool {
+    if x.is_nan() || y.is_nan() {
+        return false;
+    }
+    if x.is_infinite() || y.is_infinite() {
+        return x == y;
+    }
+    let scale = x.abs().max(y.abs()).max(1.0);
+    (x - y).abs() <= tol * scale
+}
+
 /// `repro csvdiff A B TOL` — compare two experiment CSVs cell by cell:
 /// numeric cells must agree within relative tolerance `TOL` (absolute for
-/// magnitudes below 1), non-numeric cells exactly. Exit 0 on match, 1 on
-/// divergence (each mismatch reported), 2 on usage/IO errors. CI uses this
-/// to bound the sketch-vs-MC objective gap and to byte-check the
-/// world-storage representations.
+/// magnitudes below 1, never for non-finite values), non-numeric cells
+/// exactly. Exit 0 on match, 1 on divergence (each mismatch reported), 2 on
+/// usage/IO errors. CI uses this to bound the sketch-vs-MC objective gap
+/// and to byte-check the world-storage representations and cascade kernels.
 fn run_csvdiff(paths: &[String]) -> ! {
     let [a_path, b_path, tol] = paths else {
         eprintln!("usage: repro csvdiff A B TOL");
@@ -190,8 +223,7 @@ fn run_csvdiff(paths: &[String]) -> ! {
         for (col, (va, vb)) in ca.iter().zip(&cb).enumerate() {
             match (va.trim().parse::<f64>(), vb.trim().parse::<f64>()) {
                 (Ok(x), Ok(y)) => {
-                    let scale = x.abs().max(y.abs()).max(1.0);
-                    if (x - y).abs() > tol * scale {
+                    if !numeric_cells_match(x, y, tol) {
                         eprintln!("csvdiff: row {row} col {col}: {x} vs {y} (tol {tol})");
                         mismatches += 1;
                     }
@@ -249,7 +281,7 @@ fn main() {
     }
     let e = &args.effort;
     println!(
-        "# S3CRM reproduction harness — scale x{}, {} eval worlds, seed {}, {} pool workers, {} world storage, {} estimator",
+        "# S3CRM reproduction harness — scale x{}, {} eval worlds, seed {}, {} pool workers, {} world storage, {} cascade kernel, {} estimator",
         e.graph_scale,
         e.eval_worlds,
         e.seed,
@@ -257,6 +289,10 @@ fn main() {
         match osn_propagation::world::default_world_storage() {
             osn_propagation::WorldStorage::Sparse => "sparse",
             osn_propagation::WorldStorage::Dense => "dense",
+        },
+        match osn_propagation::default_cascade_kernel() {
+            osn_propagation::CascadeKernel::Lane => "lane",
+            osn_propagation::CascadeKernel::Scalar => "scalar",
         },
         match e.estimator {
             s3crm_core::EstimatorBackend::Mc => "mc",
@@ -441,5 +477,41 @@ fn main() {
     }
     if unknown {
         std::process::exit(2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::numeric_cells_match;
+
+    #[test]
+    fn finite_cells_use_relative_tolerance() {
+        assert!(numeric_cells_match(100.0, 100.4, 0.005));
+        assert!(!numeric_cells_match(100.0, 101.0, 0.005));
+        // Sub-unit magnitudes fall back to absolute tolerance.
+        assert!(numeric_cells_match(0.001, 0.0015, 0.001));
+        assert!(numeric_cells_match(0.0, 0.0, 0.0));
+        assert!(numeric_cells_match(-5.0, -5.0, 0.0));
+    }
+
+    #[test]
+    fn nan_never_matches() {
+        assert!(!numeric_cells_match(f64::NAN, f64::NAN, 1.0));
+        assert!(!numeric_cells_match(f64::NAN, 2.0, 1.0));
+        assert!(!numeric_cells_match(2.0, f64::NAN, 1.0));
+        assert!(!numeric_cells_match(f64::NAN, f64::INFINITY, 1.0));
+    }
+
+    #[test]
+    fn infinities_match_only_same_signed_infinity() {
+        assert!(numeric_cells_match(f64::INFINITY, f64::INFINITY, 0.0));
+        assert!(numeric_cells_match(
+            f64::NEG_INFINITY,
+            f64::NEG_INFINITY,
+            0.0
+        ));
+        assert!(!numeric_cells_match(f64::INFINITY, f64::NEG_INFINITY, 1.0));
+        assert!(!numeric_cells_match(f64::INFINITY, 1e300, 1.0));
+        assert!(!numeric_cells_match(-1e300, f64::NEG_INFINITY, 1.0));
     }
 }

@@ -78,6 +78,10 @@ impl Effort {
     /// The effective generation scale for a profile: a per-profile base
     /// fraction (keeping every dataset in the same runtime ballpark) times
     /// the global multiplier, clamped to the generator's `(0, 1]` domain.
+    /// The floor is per profile — the smallest scale at which `nodes ×
+    /// scale` still rounds to at least one node (a fixed `1e-6` floor
+    /// rounded every profile under ~500k nodes down to a 0-node graph for
+    /// tiny `--scale` values).
     pub fn profile_scale(&self, profile: DatasetProfile) -> f64 {
         let base = match profile {
             DatasetProfile::Facebook => 0.25,   // 1 000 nodes at quick
@@ -85,7 +89,8 @@ impl Effort {
             DatasetProfile::GooglePlus => 0.01, // 1 080 nodes
             DatasetProfile::Douban => 0.0004,   // 2 200 nodes
         };
-        (base * self.graph_scale).clamp(1e-6, 1.0)
+        let min_scale = (1.0 / profile.nodes() as f64).min(1.0);
+        (base * self.graph_scale).clamp(min_scale, 1.0)
     }
 }
 
@@ -95,10 +100,17 @@ mod tests {
 
     #[test]
     fn presets_are_ordered() {
+        let m = Effort::micro();
         let q = Effort::quick();
         let f = Effort::full();
         assert!(f.graph_scale > q.graph_scale);
         assert!(f.eval_worlds > q.eval_worlds);
+        // Micro sits strictly below quick on every sizing knob (it exists
+        // so benches and smoke tests stay seconds-scale).
+        assert!(m.graph_scale < q.graph_scale);
+        assert!(m.eval_worlds < q.eval_worlds);
+        assert!(m.im_worlds < q.im_worlds);
+        assert!(q.eval_worlds <= f.eval_worlds && q.im_worlds <= f.im_worlds);
     }
 
     #[test]
@@ -106,6 +118,37 @@ mod tests {
         let mut e = Effort::full();
         e.graph_scale = 1e9;
         assert_eq!(e.profile_scale(DatasetProfile::Facebook), 1.0);
+    }
+
+    #[test]
+    fn degenerate_scale_floors_at_one_node() {
+        // A fixed 1e-6 floor used to round every profile under ~500k nodes
+        // to a 0-node graph; the floor must instead keep `nodes × scale`
+        // rounding to ≥ 1 for every profile.
+        let mut e = Effort::quick();
+        e.graph_scale = 1e-12;
+        for profile in DatasetProfile::ALL {
+            let scale = e.profile_scale(profile);
+            assert!(scale > 0.0 && scale <= 1.0, "{profile:?} scale {scale}");
+            let n = (profile.nodes() as f64 * scale).round() as usize;
+            assert!(n >= 1, "{profile:?} rounds to {n} nodes at scale {scale}");
+        }
+    }
+
+    #[test]
+    fn degenerate_scale_runs_end_to_end() {
+        // The floored scale must survive the whole pipeline: generate the
+        // instance and run S3CA on it (the generator enforces its own
+        // minimum of a valid attachment graph, so this exercises both
+        // floors composing).
+        let mut e = Effort::micro();
+        e.graph_scale = 1e-12;
+        let inst = DatasetProfile::Facebook
+            .generate(e.profile_scale(DatasetProfile::Facebook), e.seed)
+            .expect("degenerate-scale generation");
+        assert!(inst.graph.node_count() >= 1);
+        let result = s3crm_core::s3ca(&inst.graph, &inst.data, inst.budget, &e.s3ca_config());
+        assert!(result.objective.benefit.is_finite());
     }
 
     #[test]

@@ -1,0 +1,52 @@
+//! Exit-code smoke tests of `repro csvdiff` — the tool CI uses to gate
+//! estimator drift and representation/kernel equivalence. A corrupted CSV
+//! (non-finite objectives) must fail the diff: `NaN` and `inf` cells used
+//! to slip through the relative-tolerance test and exit 0.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn write_csv(dir: &std::path::Path, name: &str, contents: &str) -> PathBuf {
+    let path = dir.join(name);
+    std::fs::write(&path, contents).expect("write test CSV");
+    path
+}
+
+fn csvdiff(a: &std::path::Path, b: &std::path::Path, tol: &str) -> i32 {
+    let status = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["csvdiff", a.to_str().unwrap(), b.to_str().unwrap(), tol])
+        .status()
+        .expect("spawn repro");
+    status.code().expect("repro exits with a code")
+}
+
+#[test]
+fn csvdiff_exit_codes_cover_nonfinite_corruption() {
+    let dir = std::env::temp_dir().join(format!("osn-csvdiff-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+
+    let good = write_csv(&dir, "good.csv", "budget,benefit\n200,41.25\n400,63.5\n");
+    let close = write_csv(&dir, "close.csv", "budget,benefit\n200,41.27\n400,63.52\n");
+    let nan = write_csv(&dir, "nan.csv", "budget,benefit\n200,NaN\n400,63.5\n");
+    let inf = write_csv(&dir, "inf.csv", "budget,benefit\n200,inf\n400,63.5\n");
+    let neg_inf = write_csv(&dir, "neg_inf.csv", "budget,benefit\n200,-inf\n400,63.5\n");
+
+    // Matching and within-tolerance files exit 0.
+    assert_eq!(csvdiff(&good, &good, "0.0"), 0);
+    assert_eq!(csvdiff(&good, &close, "0.01"), 0);
+    // Out-of-tolerance finite drift exits 1.
+    assert_eq!(csvdiff(&good, &close, "0.000001"), 1);
+    // NaN corruption exits 1 against anything — even itself, and at any
+    // tolerance (Rust parses "NaN" as f64, so this exercises the numeric
+    // path, not the string fallback).
+    assert_eq!(csvdiff(&good, &nan, "1000000.0"), 1);
+    assert_eq!(csvdiff(&nan, &nan, "1000000.0"), 1);
+    // inf vs finite exits 1; ±inf mismatch exits 1; same-signed inf agrees.
+    assert_eq!(csvdiff(&good, &inf, "1000000.0"), 1);
+    assert_eq!(csvdiff(&inf, &neg_inf, "1000000.0"), 1);
+    assert_eq!(csvdiff(&inf, &inf, "0.0"), 0);
+    // Usage errors exit 2.
+    assert_eq!(csvdiff(&good, dir.join("missing.csv").as_path(), "0.1"), 2);
+
+    std::fs::remove_dir_all(&dir).ok();
+}

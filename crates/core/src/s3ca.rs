@@ -114,6 +114,12 @@ pub struct Telemetry {
     pub world_live_density: f64,
     /// Wall-clock microseconds spent sampling the world cache.
     pub world_sampling_micros: u64,
+    /// World×candidate cascades the snapshot-selection evaluator ran on the
+    /// bit-parallel lane kernel (0 when MC re-ranking was skipped) — how
+    /// fig9 observes which cascade kernel carried a run.
+    pub lane_kernel_worlds: u64,
+    /// As above, on the retained scalar reference kernel.
+    pub scalar_kernel_worlds: u64,
 }
 
 impl Telemetry {
@@ -228,6 +234,9 @@ pub fn s3ca(graph: &CsrGraph, data: &NodeData, binv: f64, config: &S3caConfig) -
             deployment = snap.clone();
             value = analytic;
         }
+        let (lane_worlds, scalar_worlds) = ev.kernel_world_counts();
+        telemetry.lane_kernel_worlds = lane_worlds;
+        telemetry.scalar_kernel_worlds = scalar_worlds;
         telemetry.id_micros += t_sel.elapsed().as_micros() as u64;
     }
 

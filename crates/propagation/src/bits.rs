@@ -145,6 +145,83 @@ impl BitVec {
     }
 }
 
+/// A word-level index set with dirty-word tracking — the frontier bitset of
+/// the cascade kernels. Insertions mark the containing word dirty;
+/// [`drain_ascending_into`](Self::drain_ascending_into) sorts the dirty
+/// words and extracts every member in ascending order while clearing only
+/// the touched words, so a sparse frontier over a large node range costs
+/// `O(dirty)` to reset instead of `O(n/64)`. The bit-parallel lane kernel
+/// ([`crate::lane`]) collects its union-over-lanes frontier here; the
+/// scalar kernel keeps an equivalent inline bitset.
+#[derive(Clone, Debug, Default)]
+pub struct WordSet {
+    words: Vec<u64>,
+    dirty: Vec<u32>,
+}
+
+impl WordSet {
+    /// Empty set over an empty domain.
+    pub fn new() -> Self {
+        WordSet::default()
+    }
+
+    /// Grow the domain to cover indices `0..n` (never shrinks; grown words
+    /// are zero).
+    pub fn ensure(&mut self, n: usize) {
+        let words = n.div_ceil(64);
+        if self.words.len() < words {
+            self.words.resize(words, 0);
+        }
+    }
+
+    /// Drop the backing allocation (the shrink path of long-lived worker
+    /// scratches).
+    pub fn reset(&mut self) {
+        self.words = Vec::new();
+        self.dirty = Vec::new();
+    }
+
+    /// Insert index `i`.
+    #[inline]
+    pub fn insert(&mut self, i: usize) {
+        let w = i >> 6;
+        if self.words[w] == 0 {
+            self.dirty.push(w as u32);
+        }
+        self.words[w] |= 1u64 << (i & 63);
+    }
+
+    /// True when no index is present.
+    pub fn is_empty(&self) -> bool {
+        self.dirty.is_empty()
+    }
+
+    /// Extract every member in ascending order, calling `f(i)` per index
+    /// and clearing the set as it drains.
+    pub fn drain_ascending_into(&mut self, mut f: impl FnMut(usize)) {
+        self.dirty.sort_unstable();
+        for &w in &self.dirty {
+            let mut bits = self.words[w as usize];
+            self.words[w as usize] = 0;
+            let base = (w as usize) << 6;
+            while bits != 0 {
+                f(base | bits.trailing_zeros() as usize);
+                bits &= bits - 1;
+            }
+        }
+        self.dirty.clear();
+    }
+
+    /// Clear every member (touching only dirty words — defensive reset for
+    /// scratch reuse after a panicking caller).
+    pub fn clear(&mut self) {
+        for &w in &self.dirty {
+            self.words[w as usize] = 0;
+        }
+        self.dirty.clear();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -248,5 +325,29 @@ mod tests {
             seen < 3
         });
         assert_eq!(seen, 3);
+    }
+
+    #[test]
+    fn word_set_drains_ascending_and_clears() {
+        let mut s = WordSet::new();
+        s.ensure(300);
+        assert!(s.is_empty());
+        for i in [299, 0, 64, 63, 128] {
+            s.insert(i);
+        }
+        assert!(!s.is_empty());
+        let mut got = Vec::new();
+        s.drain_ascending_into(|i| got.push(i));
+        assert_eq!(got, vec![0, 63, 64, 128, 299]);
+        assert!(s.is_empty());
+        // Draining again yields nothing; reuse after clear works.
+        s.drain_ascending_into(|_| panic!("set must be empty"));
+        s.insert(5);
+        s.clear();
+        assert!(s.is_empty());
+        s.insert(7);
+        let mut got = Vec::new();
+        s.drain_ascending_into(|i| got.push(i));
+        assert_eq!(got, vec![7]);
     }
 }

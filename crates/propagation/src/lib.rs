@@ -116,6 +116,39 @@
 //! drained in ascending node-id order, which makes the cascade outcome
 //! independent of seed ordering.
 //!
+//! ## The bit-parallel lane kernel
+//!
+//! The default execution strategy transposes the world loop entirely
+//! ([`lane`], selected via [`monte_carlo::CascadeKernel`]): instead of one
+//! cascade per world, [`lane::LANE_WORLDS`] = 64 worlds are packed as one
+//! `u64` **lane mask per edge** — bit `j` of edge `e`'s mask is world
+//! `base + j`'s coin — materialized straight from the gap-encoded sparse
+//! CSR (or the dense bitmaps) by
+//! [`world::WorldCache::world_fill_lanes`], then compacted into a
+//! [`lane::LaneBlock`]: the union live adjacency holding, per node, only
+//! the out-edges live in at least one lane. One frontier expansion then
+//! advances all 64 worlds at once: per-edge liveness, the already-active
+//! skip, and the per-lane coupon budgets (binary counters held as bit
+//! planes with ripple-borrow decrements) are all word-wide AND/OR/XOR.
+//! Because a block depends only on the sampled worlds, the evaluator
+//! decodes each block once and caches it for its lifetime — repeat
+//! `simulate_batch` calls skip the per-call world decode the scalar fold
+//! pays every time (at a resident cost of ~12 bytes per union-live edge,
+//! comparable to dense world storage).
+//!
+//! **Lane layout / determinism-part alignment contract.** Lane blocks
+//! always start at 64-world boundaries, and 64 = 2 ×
+//! [`monte_carlo::PART_WORLDS`], so a block covers exactly two aligned
+//! summation parts: lanes `0..32` form part `2b`, lanes `32..64` part
+//! `2b + 1` (a ragged final block covers one full and one partial part, or
+//! just a partial first half). Each lane's accumulators receive additions
+//! in exactly the scalar kernel's per-world event order, and each part's
+//! totals fold its half-block lanes in ascending lane order — the scalar
+//! fold's serial world-order summation — so the merged estimates are
+//! **bit-identical** to the retained scalar kernel at every pool size,
+//! batch shape, and world storage (pinned by unit tests, proptests, and a
+//! CI kernel-diff smoke; `--cascade-kernel scalar` forces the reference).
+//!
 //! **RNG-stream contract.** World `i` is always RNG stream `i` (the world
 //! index is mixed into the seed), so caches never depend on the pool size.
 //! The skip sampler consumes its per-world stream in a different order than
@@ -161,6 +194,7 @@ pub mod cost;
 pub mod engine;
 pub mod estimator;
 pub mod evaluator;
+pub mod lane;
 pub mod linear_threshold;
 pub mod metrics;
 pub mod monte_carlo;
@@ -174,7 +208,11 @@ pub use cost::{expected_sc_cost, redemption_rate, seed_cost, total_cost};
 pub use engine::{DeltaScratch, EngineCounters, RefreshDelta, SpreadEngine};
 pub use estimator::{BenefitEstimator, McEstimator};
 pub use evaluator::{AnalyticEvaluator, BenefitEvaluator, DeploymentRef};
+pub use lane::{lane_cascade_block, LaneBlock, LaneOutcome, LaneScratch, LANE_WORLDS};
 pub use metrics::RedemptionReport;
-pub use monte_carlo::{McBackend, MonteCarloEvaluator, SimulationStats};
+pub use monte_carlo::{
+    default_cascade_kernel, set_default_cascade_kernel, CascadeKernel, McBackend,
+    MonteCarloEvaluator, SimulationStats,
+};
 pub use spread::SpreadState;
 pub use world::{WorldCache, WorldRef, WorldStorage};

@@ -28,36 +28,94 @@
 //! used to issue N serial `simulate` calls submit one N-candidate batch
 //! instead. Per candidate, the part grouping above is unchanged, so batched
 //! results are bit-identical to per-candidate calls.
+//!
+//! ## Cascade kernels
+//!
+//! Two interchangeable kernels run the per-world cascades
+//! ([`CascadeKernel`]):
+//!
+//! * **Lane** (the default) — the bit-parallel kernel
+//!   ([`crate::lane`]): worlds are packed [`LANE_WORLDS`] = 64 per block,
+//!   one `u64` lane mask per edge, and a single frontier expansion advances
+//!   all 64 worlds at once. A block spans exactly two aligned
+//!   [`PART_WORLDS`]-world summation parts, and each part's totals are
+//!   folded from the block's lanes in ascending lane order, so lane
+//!   estimates are **bit-identical** to the scalar fold at every pool size
+//!   and world storage.
+//! * **Scalar** — the retained one-world-at-a-time visitor kernel
+//!   ([`crate::reach`]), kept as the bit-identity reference (`repro
+//!   --cascade-kernel scalar`; CI diffs the two kernels' experiment CSVs).
 
 use crate::bits::BitVec;
 use crate::evaluator::{BenefitEvaluator, DeploymentRef};
+use crate::lane::{lane_cascade_block, LaneBlock, LaneScratch, LANE_WORLDS};
 use crate::reach::{world_cascade, world_cascade_visit, CascadeScratch, WorldOutcome};
 use crate::world::{WorldCache, WorldRef};
 use osn_graph::{CsrGraph, NodeData, NodeId};
 use osn_pool::ThreadPool;
 use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
-thread_local! {
-    /// Worker-local cascade scratch plus world-decode buffers (live-id
-    /// vector and materialization bitmap), reused across part tasks and
-    /// calls — one `O(node_count)`/`O(edge_count)` arena per worker thread
-    /// (and per caller thread on the inline path), not one per 32-world
-    /// part or per world. Scratch contents never influence results
-    /// (stamp-based marking; the decode buffers are overwritten per
-    /// world), so reuse cannot affect the determinism contract.
-    static SCRATCH: RefCell<(CascadeScratch, Vec<u32>, BitVec)> =
-        RefCell::new((CascadeScratch::new(0), Vec::new(), BitVec::zeros(0)));
+/// Which cascade kernel an evaluator runs per world. Execution strategy
+/// only: both kernels produce bit-identical estimates (pinned by unit
+/// tests, proptests, and the CI kernel-diff smoke).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum CascadeKernel {
+    /// Bit-parallel world-per-lane kernel, 64 worlds per frontier sweep
+    /// (the default).
+    Lane = 0,
+    /// One-world-at-a-time visitor kernel — the bit-identity reference.
+    Scalar = 1,
 }
 
-fn with_scratch<R>(
-    nodes: usize,
-    f: impl FnOnce(&mut CascadeScratch, &mut Vec<u32>, &mut BitVec) -> R,
-) -> R {
+static DEFAULT_KERNEL: AtomicU8 = AtomicU8::new(CascadeKernel::Lane as u8);
+
+/// Set the process-wide kernel used by newly constructed evaluators — the
+/// `repro --cascade-kernel` escape hatch. Execution strategy only; results
+/// never change.
+pub fn set_default_cascade_kernel(kernel: CascadeKernel) {
+    DEFAULT_KERNEL.store(kernel as u8, Ordering::Relaxed);
+}
+
+/// The process-wide default cascade kernel (lane unless overridden).
+pub fn default_cascade_kernel() -> CascadeKernel {
+    if DEFAULT_KERNEL.load(Ordering::Relaxed) == CascadeKernel::Scalar as u8 {
+        CascadeKernel::Scalar
+    } else {
+        CascadeKernel::Lane
+    }
+}
+
+/// Worker-local kernel scratch plus world-decode buffers, reused across
+/// part/block tasks and calls — one `O(node_count)`/`O(edge_count)` arena
+/// per worker thread (and per caller thread on the inline path), not one
+/// per part or per world. Scratch contents never influence results
+/// (stamp-based marking; the decode buffers are overwritten per world or
+/// block), so reuse cannot affect the determinism contract.
+struct WorkerScratch {
+    cascade: CascadeScratch,
+    decode: Vec<u32>,
+    bits: BitVec,
+    lane: LaneScratch,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<WorkerScratch> = RefCell::new(WorkerScratch {
+        cascade: CascadeScratch::new(0),
+        decode: Vec::new(),
+        bits: BitVec::zeros(0),
+        lane: LaneScratch::new(0),
+    });
+}
+
+fn with_scratch<R>(nodes: usize, f: impl FnOnce(&mut WorkerScratch) -> R) -> R {
     SCRATCH.with(|s| {
         let mut s = s.borrow_mut();
-        let (scratch, decode, bits) = &mut *s;
-        scratch.ensure_nodes(nodes);
-        f(scratch, decode, bits)
+        s.cascade.ensure_nodes(nodes);
+        s.lane.ensure_nodes(nodes);
+        f(&mut s)
     })
 }
 
@@ -104,6 +162,19 @@ pub struct MonteCarloEvaluator<'a> {
     data: &'a NodeData,
     cache: &'a WorldCache,
     pool: &'a ThreadPool,
+    kernel: CascadeKernel,
+    /// Lazily decoded [`LaneBlock`]s, one per 64-world block. A block is a
+    /// pure function of the cache and the graph, so whichever worker first
+    /// cascades it builds it and every later batch reuses it — the lane
+    /// kernel pays the world decode once per evaluator where the scalar
+    /// fold re-decodes every `simulate_batch` call. Resident size is ~12
+    /// bytes per union-live edge per block (comparable to dense world
+    /// storage of the same worlds).
+    lane_blocks: Vec<OnceLock<LaneBlock>>,
+    /// World×candidate cascades run by each kernel (telemetry: fig9's
+    /// `lane_kernel_worlds` / `scalar_kernel_worlds` columns read these).
+    lane_worlds: AtomicU64,
+    scalar_worlds: AtomicU64,
 }
 
 impl<'a> MonteCarloEvaluator<'a> {
@@ -123,12 +194,38 @@ impl<'a> MonteCarloEvaluator<'a> {
         pool: &'a ThreadPool,
     ) -> Self {
         assert_eq!(cache.edge_count(), graph.edge_count());
+        let mut lane_blocks = Vec::new();
+        lane_blocks.resize_with(cache.len().div_ceil(LANE_WORLDS), OnceLock::new);
         MonteCarloEvaluator {
             graph,
             data,
             cache,
             pool,
+            kernel: default_cascade_kernel(),
+            lane_blocks,
+            lane_worlds: AtomicU64::new(0),
+            scalar_worlds: AtomicU64::new(0),
         }
+    }
+
+    /// Override the cascade kernel (constructors take the process default).
+    pub fn with_kernel(mut self, kernel: CascadeKernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// The cascade kernel this evaluator runs.
+    pub fn kernel(&self) -> CascadeKernel {
+        self.kernel
+    }
+
+    /// World×candidate cascades run so far as `(lane, scalar)` — how the
+    /// harness observes which kernel actually carried an experiment.
+    pub fn kernel_world_counts(&self) -> (u64, u64) {
+        (
+            self.lane_worlds.load(Ordering::Relaxed),
+            self.scalar_worlds.load(Ordering::Relaxed),
+        )
     }
 
     /// Number of worlds backing each estimate.
@@ -174,7 +271,15 @@ impl<'a> MonteCarloEvaluator<'a> {
         part.clear();
         part.resize(batch.len(), Totals::default());
         let m = self.graph.edge_count();
-        with_scratch(self.graph.node_count(), |scratch, decode, bits| {
+        self.scalar_worlds
+            .fetch_add(((hi - lo) * batch.len()) as u64, Ordering::Relaxed);
+        with_scratch(self.graph.node_count(), |ws| {
+            let WorkerScratch {
+                cascade: scratch,
+                decode,
+                bits,
+                ..
+            } = ws;
             let mut run_batch = |world: WorldRef<'_>, scratch: &mut CascadeScratch| {
                 for (acc, dep) in part.iter_mut().zip(batch) {
                     acc.add(world_cascade(
@@ -217,6 +322,126 @@ impl<'a> MonteCarloEvaluator<'a> {
     }
 
     fn fold_worlds_batch(&self, batch: &[DeploymentRef<'_>]) -> Vec<Totals> {
+        match self.kernel {
+            CascadeKernel::Lane => self.fold_worlds_lane(batch),
+            CascadeKernel::Scalar => self.fold_worlds_scalar(batch),
+        }
+    }
+
+    /// Cascade every candidate through one ≤ [`LANE_WORLDS`]-world block of
+    /// the bit-parallel kernel, and append the block's one or two 32-world
+    /// part totals to `out` as `(part index, per-candidate totals)`. Each
+    /// part's totals fold the block's lanes in ascending lane order —
+    /// exactly the scalar fold's serial world-order summation, so lane
+    /// parts merge bit-identically into the existing part-order reduction.
+    fn fold_block_lane(
+        &self,
+        batch: &[DeploymentRef<'_>],
+        base: usize,
+        hi: usize,
+        out: &mut Vec<(usize, Vec<Totals>)>,
+    ) {
+        debug_assert_eq!(base % LANE_WORLDS, 0, "blocks start at lane boundaries");
+        let count = hi - base;
+        self.lane_worlds
+            .fetch_add((count * batch.len()) as u64, Ordering::Relaxed);
+        // First cascade over this block decodes it; every later batch and
+        // candidate reuses the compacted adjacency.
+        let block = self.lane_blocks[base / LANE_WORLDS].get_or_init(|| {
+            let valid = if count == LANE_WORLDS {
+                !0u64
+            } else {
+                (1u64 << count) - 1
+            };
+            let mut lanes = vec![0u64; self.graph.edge_count()];
+            self.cache.world_fill_lanes(base, count, &mut lanes);
+            LaneBlock::from_edge_masks(self.graph, &lanes, valid)
+        });
+        with_scratch(self.graph.node_count(), |ws| {
+            let halves = count.div_ceil(PART_WORLDS);
+            let first_part = base / PART_WORLDS;
+            let start = out.len();
+            for h in 0..halves {
+                out.push((first_part + h, vec![Totals::default(); batch.len()]));
+            }
+            for (c, dep) in batch.iter().enumerate() {
+                let lanes = lane_cascade_block(
+                    self.graph,
+                    self.data,
+                    dep.seeds,
+                    dep.coupons,
+                    block,
+                    &mut ws.lane,
+                );
+                for h in 0..halves {
+                    let acc = &mut out[start + h].1[c];
+                    for l in h * PART_WORLDS..((h + 1) * PART_WORLDS).min(count) {
+                        acc.benefit += lanes.benefit[l];
+                        acc.redeemed_sc_cost += lanes.redeemed_sc_cost[l];
+                        acc.activated += lanes.activated[l] as usize;
+                        acc.farthest_hop_sum += lanes.farthest_hop[l] as f64;
+                    }
+                }
+            }
+        });
+    }
+
+    /// The lane-kernel fold: workers claim 64-world blocks (each yielding
+    /// two aligned 32-world parts), and part totals merge in ascending part
+    /// order exactly as the scalar fold's.
+    fn fold_worlds_lane(&self, batch: &[DeploymentRef<'_>]) -> Vec<Totals> {
+        let r = self.cache.len();
+        let parts = r.div_ceil(PART_WORLDS);
+        let blocks = r.div_ceil(LANE_WORLDS);
+        let block_bounds = |b: usize| (b * LANE_WORLDS, (b * LANE_WORLDS + LANE_WORLDS).min(r));
+        let workers = self.pool.num_threads().min(blocks);
+        if workers <= 1 {
+            // Inline path: blocks in order emit parts in order.
+            let mut acc = vec![Totals::default(); batch.len()];
+            let mut block_parts = Vec::new();
+            for b in 0..blocks {
+                let (lo, hi) = block_bounds(b);
+                block_parts.clear();
+                self.fold_block_lane(batch, lo, hi, &mut block_parts);
+                for (_, part) in &block_parts {
+                    merge_into(&mut acc, part);
+                }
+            }
+            return acc;
+        }
+        // Pooled path: the scalar fold's claim-by-counter scheme over blocks
+        // instead of parts.
+        let next = AtomicUsize::new(0);
+        let mut per_job: Vec<Vec<(usize, Vec<Totals>)>> = Vec::with_capacity(workers);
+        per_job.resize_with(workers, Vec::new);
+        self.pool.scope(|s| {
+            for slot in per_job.iter_mut() {
+                let next = &next;
+                s.spawn(move || loop {
+                    let b = next.fetch_add(1, Ordering::Relaxed);
+                    if b >= blocks {
+                        break;
+                    }
+                    let (lo, hi) = block_bounds(b);
+                    self.fold_block_lane(batch, lo, hi, slot);
+                });
+            }
+        });
+        let mut in_order: Vec<(usize, Vec<Totals>)> = per_job.into_iter().flatten().collect();
+        in_order.sort_unstable_by_key(|&(p, _)| p);
+        assert_eq!(
+            in_order.len(),
+            parts,
+            "every part must be claimed exactly once"
+        );
+        let mut acc = vec![Totals::default(); batch.len()];
+        for (_, part) in &in_order {
+            merge_into(&mut acc, part);
+        }
+        acc
+    }
+
+    fn fold_worlds_scalar(&self, batch: &[DeploymentRef<'_>]) -> Vec<Totals> {
         let r = self.cache.len();
         let parts = r.div_ceil(PART_WORLDS);
         let part_bounds = |p: usize| (p * PART_WORLDS, (p * PART_WORLDS + PART_WORLDS).min(r));
@@ -363,6 +588,8 @@ impl BenefitEvaluator for MonteCarloEvaluator<'_> {
         // shared cascade kernel with a counting visitor.
         let n = self.graph.node_count();
         let mut counts = vec![0u32; n];
+        self.scalar_worlds
+            .fetch_add(self.cache.len() as u64, Ordering::Relaxed);
         let mut scratch = CascadeScratch::new(n);
         let mut decode = Vec::new();
         for w in 0..self.cache.len() {
@@ -554,6 +781,77 @@ mod tests {
         );
         assert_eq!(stats.expected_benefit.to_bits(), lone.benefit.to_bits());
         assert_eq!(stats.mean_activated, lone.activated as f64);
+    }
+
+    #[test]
+    fn lane_and_scalar_kernels_agree_bitwise() {
+        use crate::world::WorldStorage;
+        let (g, d) = example1();
+        let pool1 = ThreadPool::new(1);
+        let pool2 = ThreadPool::new(2);
+        let seeds_a = [NodeId(0)];
+        let seeds_b = [NodeId(0), NodeId(1)];
+        let k1 = vec![2u32, 1, 1, 0, 0, 0, 0];
+        let k2 = vec![1u32, 2, 2, 0, 0, 0, 0];
+        let batch = [
+            DeploymentRef {
+                seeds: &seeds_a,
+                coupons: &k1,
+            },
+            DeploymentRef {
+                seeds: &seeds_b,
+                coupons: &k2,
+            },
+        ];
+        // 48 worlds: a ragged sub-64 block spanning 1.5 parts.
+        for storage in [WorldStorage::Sparse, WorldStorage::Dense] {
+            let cache = WorldCache::sample_with_storage(&g, 48, 5, storage, &pool1);
+            for pool in [&pool1, &pool2] {
+                let lane = MonteCarloEvaluator::with_pool(&g, &d, &cache, pool)
+                    .with_kernel(CascadeKernel::Lane);
+                let scalar = MonteCarloEvaluator::with_pool(&g, &d, &cache, pool)
+                    .with_kernel(CascadeKernel::Scalar);
+                let lr = lane.simulate_batch(&batch);
+                let sr = scalar.simulate_batch(&batch);
+                for (l, s) in lr.iter().zip(&sr) {
+                    assert_eq!(
+                        l.expected_benefit.to_bits(),
+                        s.expected_benefit.to_bits(),
+                        "{storage:?}"
+                    );
+                    assert_eq!(l, s, "{storage:?}");
+                }
+                let (lw, sw) = lane.kernel_world_counts();
+                assert_eq!((lw, sw), (48 * 2, 0));
+                let (lw, sw) = scalar.kernel_world_counts();
+                assert_eq!((lw, sw), (0, 48 * 2));
+            }
+        }
+    }
+
+    #[test]
+    fn lane_kernel_handles_edgeless_graphs() {
+        let g = GraphBuilder::new(4).build().unwrap();
+        let d = NodeData::uniform(4, 1.0, 1.0, 1.0);
+        let cache = WorldCache::sample(&g, 16, 3);
+        let ev = MonteCarloEvaluator::new(&g, &d, &cache).with_kernel(CascadeKernel::Lane);
+        let reference = MonteCarloEvaluator::new(&g, &d, &cache).with_kernel(CascadeKernel::Scalar);
+        let k = vec![1u32; 4];
+        let seeds = [NodeId(2), NodeId(0)];
+        assert_eq!(ev.simulate(&seeds, &k), reference.simulate(&seeds, &k));
+        assert_eq!(ev.simulate(&seeds, &k).mean_activated, 2.0);
+    }
+
+    #[test]
+    fn default_kernel_is_lane() {
+        // (Process-global; other tests override only via `with_kernel`.)
+        assert_eq!(default_cascade_kernel(), CascadeKernel::Lane);
+        let (g, d) = example1();
+        let cache = WorldCache::sample(&g, 4, 1);
+        assert_eq!(
+            MonteCarloEvaluator::new(&g, &d, &cache).kernel(),
+            CascadeKernel::Lane
+        );
     }
 
     #[test]

@@ -417,6 +417,51 @@ impl WorldCache {
         }
     }
 
+    /// Materialize worlds `base..base + count` (`count` ≤ 64) as lane
+    /// masks: bit `j` of `lanes[e]` is set iff edge `e` is live in world
+    /// `base + j`. `lanes` must span [`edge_count`](Self::edge_count) and
+    /// be zero on entry. Sparse worlds OR their gap streams straight into
+    /// the masks with the same fused decode as
+    /// [`world_fill_bits`](Self::world_fill_bits) — no intermediate id
+    /// list; dense worlds OR from their stored bitmaps. This is how the
+    /// bit-parallel cascade kernel ([`crate::lane`]) packs a block of
+    /// worlds.
+    pub fn world_fill_lanes(&self, base: usize, count: usize, lanes: &mut [u64]) {
+        assert!(count <= 64, "at most 64 worlds per lane block");
+        debug_assert!(lanes.len() >= self.edges);
+        match &self.repr {
+            Repr::Sparse(s) => {
+                for j in 0..count {
+                    let i = base + j;
+                    let bit = 1u64 << j;
+                    let bytes = &s.gaps[s.offsets[i] as usize..s.offsets[i + 1] as usize];
+                    let mut cur = 0u32;
+                    let mut delta = 0u32;
+                    let mut first = true;
+                    for &b in bytes {
+                        delta += b as u32;
+                        if b < 255 {
+                            cur = if first { delta } else { cur + delta };
+                            first = false;
+                            lanes[cur as usize] |= bit;
+                            delta = 0;
+                        }
+                    }
+                }
+            }
+            Repr::Dense(v) => {
+                for j in 0..count {
+                    let bit = 1u64 << j;
+                    let w = &v[base + j];
+                    w.for_each_set_in(0, w.len(), |e| {
+                        lanes[e] |= bit;
+                        true
+                    });
+                }
+            }
+        }
+    }
+
     /// World `i`'s live edge ids, ascending (a convenience for tests and
     /// diagnostics; hot paths use [`world_into`](Self::world_into)).
     pub fn live_edge_ids(&self, i: usize) -> Vec<u32> {
@@ -867,6 +912,38 @@ mod tests {
         assert_eq!(sparse.live_edge_count(), dense.live_edge_count());
         for w in 0..64 {
             assert_eq!(sparse.live_edge_ids(w), dense.live_edge_ids(w), "world {w}");
+        }
+    }
+
+    #[test]
+    fn lane_masks_match_per_world_ids_in_both_storages() {
+        let mut b = GraphBuilder::new(40);
+        for i in 0u32..40 {
+            b.add_edge(i, (i + 1) % 40, 0.6).unwrap();
+            b.add_edge(i, (i + 7) % 40, 0.25).unwrap();
+        }
+        let g = b.build().unwrap();
+        let pool = ThreadPool::new(1);
+        for storage in [WorldStorage::Sparse, WorldStorage::Dense] {
+            let cache = WorldCache::sample_with_storage(&g, 70, 3, storage, &pool);
+            // A full 64-world block and a ragged 6-world tail.
+            for (base, count) in [(0usize, 64usize), (64, 6)] {
+                let mut lanes = vec![0u64; cache.edge_count()];
+                cache.world_fill_lanes(base, count, &mut lanes);
+                for j in 0..count {
+                    let want = cache.live_edge_ids(base + j);
+                    let got: Vec<u32> = (0..cache.edge_count())
+                        .filter(|&e| lanes[e] >> j & 1 == 1)
+                        .map(|e| e as u32)
+                        .collect();
+                    assert_eq!(got, want, "{storage:?} world {}", base + j);
+                }
+                if count < 64 {
+                    for (e, &mask) in lanes.iter().enumerate() {
+                        assert_eq!(mask >> count, 0, "bits beyond the block at {e}");
+                    }
+                }
+            }
         }
     }
 
