@@ -89,12 +89,14 @@ fn parse_args() -> Args {
                 // CSVs (CI diffs them); dense exists for memory comparisons
                 // and as a fallback while the sparse path matures.
                 let v = it.next().expect("--world-storage needs dense|sparse");
-                let storage = match v.as_str() {
+                // The flag is a CLI-only shim: it writes into this run's
+                // `Effort`, which threads the choice explicitly through
+                // every experiment (no process-global state involved).
+                effort.world_storage = match v.as_str() {
                     "dense" => osn_propagation::WorldStorage::Dense,
                     "sparse" => osn_propagation::WorldStorage::Sparse,
                     other => panic!("--world-storage must be dense or sparse, got {other}"),
                 };
-                osn_propagation::world::set_default_world_storage(storage);
             }
             "--cascade-kernel" => {
                 // Execution-strategy escape hatch: the bit-parallel lane
@@ -103,12 +105,12 @@ fn parse_args() -> Args {
                 // exists as the bit-identity reference and for perf
                 // comparisons.
                 let v = it.next().expect("--cascade-kernel needs lane|scalar");
-                let kernel = match v.as_str() {
+                // CLI-only shim, same as `--world-storage`.
+                effort.cascade_kernel = match v.as_str() {
                     "lane" => osn_propagation::CascadeKernel::Lane,
                     "scalar" => osn_propagation::CascadeKernel::Scalar,
                     other => panic!("--cascade-kernel must be lane or scalar, got {other}"),
                 };
-                osn_propagation::set_default_cascade_kernel(kernel);
             }
             "--out" => out_dir = PathBuf::from(it.next().expect("--out needs a path")),
             "--data" => data = Some(PathBuf::from(it.next().expect("--data needs a path"))),
@@ -179,12 +181,66 @@ fn numeric_cells_match(x: f64, y: f64, tol: f64) -> bool {
     (x - y).abs() <= tol * scale
 }
 
+/// Most mismatch lines csvdiff prints before suppressing the rest: a fully
+/// divergent CSV must not flood a CI log, but the summary line always
+/// reports the true total.
+const CSVDIFF_MAX_REPORTS: usize = 40;
+
+/// Compare two CSVs line-wise and return one message per mismatch. Rows are
+/// compared cell by cell (numeric cells within `tol`, see
+/// [`numeric_cells_match`]; others exactly). When the row counts differ,
+/// every unpaired trailing row of the longer file is reported individually —
+/// a zip that silently drops the tail would hide *what* diverged.
+fn diff_csv(a: &[String], b: &[String], tol: f64) -> Vec<String> {
+    let mut msgs = Vec::new();
+    if a.len() != b.len() {
+        msgs.push(format!("row count {} vs {}", a.len(), b.len()));
+    }
+    for (row, (la, lb)) in a.iter().zip(b).enumerate() {
+        let (ca, cb): (Vec<&str>, Vec<&str>) = (la.split(',').collect(), lb.split(',').collect());
+        if ca.len() != cb.len() {
+            msgs.push(format!(
+                "row {row}: column count {} vs {}",
+                ca.len(),
+                cb.len()
+            ));
+            continue;
+        }
+        for (col, (va, vb)) in ca.iter().zip(&cb).enumerate() {
+            match (va.trim().parse::<f64>(), vb.trim().parse::<f64>()) {
+                (Ok(x), Ok(y)) => {
+                    if !numeric_cells_match(x, y, tol) {
+                        msgs.push(format!("row {row} col {col}: {x} vs {y} (tol {tol})"));
+                    }
+                }
+                _ => {
+                    if va.trim() != vb.trim() {
+                        msgs.push(format!("row {row} col {col}: {va:?} vs {vb:?}"));
+                    }
+                }
+            }
+        }
+    }
+    let common = a.len().min(b.len());
+    let (longer, which) = if a.len() > b.len() {
+        (a, "A")
+    } else {
+        (b, "B")
+    };
+    for (row, line) in longer.iter().enumerate().skip(common) {
+        msgs.push(format!("row {row} only in {which}: {line:?}"));
+    }
+    msgs
+}
+
 /// `repro csvdiff A B TOL` — compare two experiment CSVs cell by cell:
 /// numeric cells must agree within relative tolerance `TOL` (absolute for
 /// magnitudes below 1, never for non-finite values), non-numeric cells
-/// exactly. Exit 0 on match, 1 on divergence (each mismatch reported), 2 on
-/// usage/IO errors. CI uses this to bound the sketch-vs-MC objective gap
-/// and to byte-check the world-storage representations and cascade kernels.
+/// exactly; unpaired trailing rows of the longer file each count as a
+/// mismatch. Exit 0 on match, 1 on divergence (mismatches reported, capped
+/// at [`CSVDIFF_MAX_REPORTS`] lines), 2 on usage/IO errors. CI uses this to
+/// bound the sketch-vs-MC objective gap and to byte-check the world-storage
+/// representations and cascade kernels.
 fn run_csvdiff(paths: &[String]) -> ! {
     let [a_path, b_path, tol] = paths else {
         eprintln!("usage: repro csvdiff A B TOL");
@@ -204,44 +260,21 @@ fn run_csvdiff(paths: &[String]) -> ! {
         }
     };
     let (a, b) = (read(a_path), read(b_path));
-    let mut mismatches = 0usize;
-    if a.len() != b.len() {
-        eprintln!("csvdiff: row count {} vs {}", a.len(), b.len());
-        mismatches += 1;
-    }
-    for (row, (la, lb)) in a.iter().zip(&b).enumerate() {
-        let (ca, cb): (Vec<&str>, Vec<&str>) = (la.split(',').collect(), lb.split(',').collect());
-        if ca.len() != cb.len() {
-            eprintln!(
-                "csvdiff: row {row}: column count {} vs {}",
-                ca.len(),
-                cb.len()
-            );
-            mismatches += 1;
-            continue;
-        }
-        for (col, (va, vb)) in ca.iter().zip(&cb).enumerate() {
-            match (va.trim().parse::<f64>(), vb.trim().parse::<f64>()) {
-                (Ok(x), Ok(y)) => {
-                    if !numeric_cells_match(x, y, tol) {
-                        eprintln!("csvdiff: row {row} col {col}: {x} vs {y} (tol {tol})");
-                        mismatches += 1;
-                    }
-                }
-                _ => {
-                    if va.trim() != vb.trim() {
-                        eprintln!("csvdiff: row {row} col {col}: {va:?} vs {vb:?}");
-                        mismatches += 1;
-                    }
-                }
-            }
-        }
-    }
-    if mismatches == 0 {
+    let msgs = diff_csv(&a, &b, tol);
+    if msgs.is_empty() {
         println!("csvdiff: {a_path} and {b_path} agree within {tol}");
         std::process::exit(0);
     }
-    eprintln!("csvdiff: {mismatches} mismatches");
+    for msg in msgs.iter().take(CSVDIFF_MAX_REPORTS) {
+        eprintln!("csvdiff: {msg}");
+    }
+    if msgs.len() > CSVDIFF_MAX_REPORTS {
+        eprintln!(
+            "csvdiff: ... {} further mismatches suppressed",
+            msgs.len() - CSVDIFF_MAX_REPORTS
+        );
+    }
+    eprintln!("csvdiff: {} mismatches", msgs.len());
     std::process::exit(1);
 }
 
@@ -286,11 +319,11 @@ fn main() {
         e.eval_worlds,
         e.seed,
         osn_pool::global().num_threads(),
-        match osn_propagation::world::default_world_storage() {
+        match e.world_storage {
             osn_propagation::WorldStorage::Sparse => "sparse",
             osn_propagation::WorldStorage::Dense => "dense",
         },
-        match osn_propagation::default_cascade_kernel() {
+        match e.cascade_kernel {
             osn_propagation::CascadeKernel::Lane => "lane",
             osn_propagation::CascadeKernel::Scalar => "scalar",
         },
@@ -482,7 +515,63 @@ fn main() {
 
 #[cfg(test)]
 mod tests {
-    use super::numeric_cells_match;
+    use super::{diff_csv, numeric_cells_match};
+
+    fn lines(rows: &[&str]) -> Vec<String> {
+        rows.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn identical_csvs_produce_no_messages() {
+        let a = lines(&["h1,h2", "1.0,x", "2.0,y"]);
+        assert!(diff_csv(&a, &a, 0.0).is_empty());
+    }
+
+    #[test]
+    fn trailing_rows_of_the_longer_file_are_each_reported() {
+        let a = lines(&["h", "1.0"]);
+        let b = lines(&["h", "1.0", "2.0", "3.0"]);
+        let msgs = diff_csv(&a, &b, 0.0);
+        // One row-count message plus one message per unpaired trailing row.
+        assert_eq!(msgs.len(), 3, "{msgs:?}");
+        assert!(msgs[0].contains("row count 2 vs 4"), "{msgs:?}");
+        assert!(msgs[1].contains("row 2 only in B"), "{msgs:?}");
+        assert!(msgs[2].contains("row 3 only in B"), "{msgs:?}");
+        // Symmetric when A is the longer file.
+        let msgs = diff_csv(&b, &a, 0.0);
+        assert!(msgs.iter().any(|m| m.contains("row 3 only in A")));
+    }
+
+    #[test]
+    fn cell_mismatches_in_the_common_prefix_still_reported_alongside_tail() {
+        let a = lines(&["h", "1.0,a", "2.0,b"]);
+        let b = lines(&["h", "9.0,a", "2.0,b", "3.0,c"]);
+        let msgs = diff_csv(&a, &b, 0.0);
+        assert!(msgs.iter().any(|m| m.contains("row 1 col 0")), "{msgs:?}");
+        assert!(
+            msgs.iter().any(|m| m.contains("row 3 only in B")),
+            "{msgs:?}"
+        );
+    }
+
+    #[test]
+    fn column_count_mismatch_short_circuits_the_row() {
+        let a = lines(&["1,2,3"]);
+        let b = lines(&["1,2"]);
+        let msgs = diff_csv(&a, &b, 0.0);
+        assert_eq!(msgs.len(), 1, "{msgs:?}");
+        assert!(msgs[0].contains("column count 3 vs 2"), "{msgs:?}");
+    }
+
+    #[test]
+    fn tolerance_applies_to_numeric_cells_only() {
+        let a = lines(&["1.00,abc"]);
+        let b = lines(&["1.004,abd"]);
+        let msgs = diff_csv(&a, &b, 0.005);
+        // The numeric cell is within tolerance; the text cell differs.
+        assert_eq!(msgs.len(), 1, "{msgs:?}");
+        assert!(msgs[0].contains("col 1"), "{msgs:?}");
+    }
 
     #[test]
     fn finite_cells_use_relative_tolerance() {

@@ -158,39 +158,37 @@ pub fn convert(input: &Path, output: &Path) -> Result<(), GraphError> {
 mod tests {
     use super::*;
     use osn_graph::NodeId;
-
-    fn temp_path(tag: &str, ext: &str) -> PathBuf {
-        std::env::temp_dir().join(format!("s3crm-dataset-{}-{tag}.{ext}", std::process::id()))
-    }
+    use s3crm_tests::TempDir;
 
     #[test]
     fn text_without_probabilities_gets_inverse_in_degree() {
-        let path = temp_path("weightless", "txt");
+        let dir = TempDir::new("weightless");
+        let path = dir.file("graph.txt");
         std::fs::write(&path, "# snap\n0 1\n2 1\n1 0\n").unwrap();
         let (g, w) = load_graph(&path).unwrap();
         assert!(w.is_none());
         // Node 1 has in-degree 2 -> both incoming edges carry 1/2.
         assert_eq!(g.edge_prob(NodeId(0), NodeId(1)), Some(0.5));
         assert_eq!(g.edge_prob(NodeId(1), NodeId(0)), Some(1.0));
-        std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn text_with_probabilities_keeps_them() {
-        let path = temp_path("weighted", "txt");
+        let dir = TempDir::new("weighted");
+        let path = dir.file("graph.txt");
         std::fs::write(&path, "0 1 0.3\n1 2 0\n").unwrap();
         let (g, _) = load_graph(&path).unwrap();
         assert_eq!(g.edge_prob(NodeId(0), NodeId(1)), Some(0.3));
         // Explicit zeros are kept once any line carries a probability.
         assert_eq!(g.edge_prob(NodeId(1), NodeId(2)), Some(0.0));
-        std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn all_explicit_zeros_stay_dead() {
         // Every line carries an explicit 0: a deliberately dead network
         // must NOT be silently reweighted to 1/in-degree.
-        let path = temp_path("deadnet", "txt");
+        let dir = TempDir::new("deadnet");
+        let path = dir.file("graph.txt");
         std::fs::write(&path, "0 1 0.0\n1 2 0\n2 0 0.0\n").unwrap();
         let (g, _) = load_graph(&path).unwrap();
         for u in g.nodes() {
@@ -198,26 +196,25 @@ mod tests {
                 assert_eq!(p, 0.0, "explicit zero was overwritten");
             }
         }
-        std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn convert_then_load_matches_text_load() {
-        let text = temp_path("convsrc", "txt");
-        let bin = temp_path("convdst", "oscg");
+        let dir = TempDir::new("convert");
+        let text = dir.file("src.txt");
+        let bin = dir.file("dst.oscg");
         std::fs::write(&text, "0 1\n1 2\n2 0\n0 2\n").unwrap();
         convert(&text, &bin).unwrap();
         let (from_text, _) = load_graph(&text).unwrap();
         let (from_bin, _) = load_graph(&bin).unwrap();
         assert_eq!(from_text, from_bin);
-        std::fs::remove_file(&text).ok();
-        std::fs::remove_file(&bin).ok();
     }
 
     #[test]
     fn dataset_instance_is_deterministic_across_formats() {
-        let text = temp_path("detsrc", "txt");
-        let bin = temp_path("detdst", "oscg");
+        let dir = TempDir::new("determinism");
+        let text = dir.file("src.txt");
+        let bin = dir.file("dst.oscg");
         std::fs::write(&text, "0 1\n1 2\n2 3\n3 0\n1 3\n").unwrap();
         convert(&text, &bin).unwrap();
         let effort = Effort::micro();
@@ -226,13 +223,12 @@ mod tests {
         assert_eq!(a.graph, b.graph);
         assert_eq!(a.data, b.data, "synthesized workloads must match");
         assert_eq!(a.budget.to_bits(), b.budget.to_bits());
-        std::fs::remove_file(&text).ok();
-        std::fs::remove_file(&bin).ok();
     }
 
     #[test]
     fn binary_workload_overrides_synthesis() {
-        let bin = temp_path("stored", "oscg");
+        let dir = TempDir::new("stored");
+        let bin = dir.file("workload.oscg");
         let mut builder = osn_graph::GraphBuilder::new(2);
         builder.add_edge(0, 1, 0.5).unwrap();
         let g = builder.build().unwrap();
@@ -242,7 +238,6 @@ mod tests {
         let ds = load_dataset(&bin, &Effort::micro()).unwrap();
         assert_eq!(ds.data, data);
         assert_eq!(ds.budget, 123.0);
-        std::fs::remove_file(&bin).ok();
     }
 
     #[test]

@@ -109,6 +109,7 @@ mod tests {
             im_worlds: 8,
             seed: 9,
             estimator: s3crm_core::EstimatorBackend::Mc,
+            ..Effort::micro()
         };
         let t = phase_ablation(DatasetProfile::Facebook, &effort);
         for row in &t.rows {

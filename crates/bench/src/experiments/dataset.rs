@@ -33,8 +33,8 @@ mod tests {
 
     #[test]
     fn sweep_over_a_tiny_text_dataset_fills_both_tables() {
-        let path =
-            std::env::temp_dir().join(format!("s3crm-dataset-sweep-{}.txt", std::process::id()));
+        let dir = s3crm_tests::TempDir::new("dataset-sweep");
+        let path = dir.file("ring.txt");
         let mut text = String::from("# ring of 12 with chords\n");
         for i in 0u32..12 {
             text.push_str(&format!("{} {}\n", i, (i + 1) % 12));
@@ -57,6 +57,5 @@ mod tests {
                 assert!((0.0..=1.0001).contains(&v), "rate {v} out of range");
             }
         }
-        std::fs::remove_file(&path).ok();
     }
 }

@@ -125,6 +125,7 @@ mod tests {
             im_worlds: 8,
             seed: 21,
             estimator: s3crm_core::EstimatorBackend::Mc,
+            ..Effort::micro()
         };
         let t = all_results_vs_opt(&[40.0], 2, &effort);
         assert_eq!(t.rows.len(), 2);

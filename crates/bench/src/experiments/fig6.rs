@@ -133,6 +133,7 @@ mod tests {
             im_worlds: 8,
             seed: 11,
             estimator: s3crm_core::EstimatorBackend::Mc,
+            ..Effort::micro()
         }
     }
 

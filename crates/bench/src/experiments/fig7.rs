@@ -109,6 +109,7 @@ mod tests {
             im_worlds: 8,
             seed: 5,
             estimator: s3crm_core::EstimatorBackend::Mc,
+            ..Effort::micro()
         };
         let t = seed_sc_vs_kappa(DatasetProfile::Facebook, &effort);
         assert_eq!(t.rows.len(), KAPPAS.len());

@@ -98,6 +98,7 @@ mod tests {
             im_worlds: 8,
             seed: 2,
             estimator: s3crm_core::EstimatorBackend::Mc,
+            ..Effort::micro()
         };
         let (rate, ssc) = case_study(AIRBNB, &effort);
         assert_eq!(rate.rows.len(), MARGINS.len());

@@ -44,6 +44,7 @@ mod tests {
             im_worlds: 8,
             seed: 13,
             estimator: s3crm_core::EstimatorBackend::Mc,
+            ..Effort::micro()
         };
         let t = farthest_hops(&[DatasetProfile::Facebook], &effort);
         assert_eq!(t.rows.len(), 1);

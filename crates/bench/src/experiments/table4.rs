@@ -47,6 +47,7 @@ mod tests {
             im_worlds: 8,
             seed: 3,
             estimator: s3crm_core::EstimatorBackend::Mc,
+            ..Effort::micro()
         };
         let t = running_time(&[DatasetProfile::Facebook], &effort);
         assert_eq!(t.headers.len(), 6);

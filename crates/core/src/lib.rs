@@ -53,4 +53,6 @@ pub mod special_cases;
 pub use deployment::Deployment;
 pub use instance::Instance;
 pub use objective::ObjectiveValue;
-pub use s3ca::{s3ca, EstimatorBackend, S3caConfig, S3caResult, Telemetry};
+pub use s3ca::{
+    s3ca, s3ca_with_snapshot_backend, EstimatorBackend, S3caConfig, S3caResult, Telemetry,
+};

@@ -50,6 +50,19 @@ pub struct S3caConfig {
     pub rng_seed: u64,
     /// Estimation backend of the ID phase.
     pub estimator: EstimatorBackend,
+    /// Storage of the snapshot-selection world cache. Representation only —
+    /// carried explicitly per run so concurrent campaigns can differ
+    /// without racing a process-wide default.
+    pub world_storage: osn_propagation::WorldStorage,
+    /// Cascade kernel of the snapshot-selection evaluator. Execution
+    /// strategy only — carried explicitly per run, same reason.
+    pub cascade_kernel: osn_propagation::CascadeKernel,
+    /// Additive benefit-error target of the sketch index (ε of its
+    /// Hoeffding guarantee). Only read when `estimator` is
+    /// [`EstimatorBackend::Sketch`].
+    pub sketch_epsilon: f64,
+    /// Failure probability of that guarantee (δ). Sketch backend only.
+    pub sketch_delta: f64,
 }
 
 impl Default for S3caConfig {
@@ -62,6 +75,10 @@ impl Default for S3caConfig {
             snapshot_worlds: 64,
             rng_seed: 0x53CA,
             estimator: EstimatorBackend::Mc,
+            world_storage: osn_propagation::WorldStorage::default(),
+            cascade_kernel: osn_propagation::CascadeKernel::default(),
+            sketch_epsilon: SketchParams::default().epsilon,
+            sketch_delta: SketchParams::default().delta,
         }
     }
 }
@@ -141,6 +158,23 @@ pub struct S3caResult {
 
 /// Run S3CA on an instance under budget `binv`.
 pub fn s3ca(graph: &CsrGraph, data: &NodeData, binv: f64, config: &S3caConfig) -> S3caResult {
+    s3ca_with_snapshot_backend(graph, data, binv, config, None)
+}
+
+/// As [`s3ca`], with an optional caller-owned Monte-Carlo backend for the
+/// snapshot re-ranking (line 24). A resident server passes the backend it
+/// keeps per `(worlds, seed, storage, kernel)` so concurrent campaigns
+/// share one world cache and its lane-block decodes zero-copy; `None`
+/// samples a fresh cache exactly as [`s3ca`] always did. The caller must
+/// hand in a backend sampled with `config.snapshot_worlds` worlds and
+/// `config.rng_seed` — results are then bit-identical to the `None` path.
+pub fn s3ca_with_snapshot_backend(
+    graph: &CsrGraph,
+    data: &NodeData,
+    binv: f64,
+    config: &S3caConfig,
+    snapshot_backend: Option<&osn_propagation::McBackend>,
+) -> S3caResult {
     let n = graph.node_count();
     let mut explored = ExploreTracker::new(n);
     let mut telemetry = Telemetry::default();
@@ -154,6 +188,8 @@ pub fn s3ca(graph: &CsrGraph, data: &NodeData, binv: f64, config: &S3caConfig) -
         EstimatorBackend::Sketch => {
             let params = SketchParams {
                 seed: config.rng_seed,
+                epsilon: config.sketch_epsilon,
+                delta: config.sketch_delta,
                 ..SketchParams::default()
             };
             let index = SketchIndex::build(graph, data, &params);
@@ -186,8 +222,20 @@ pub fn s3ca(graph: &CsrGraph, data: &NodeData, binv: f64, config: &S3caConfig) -
     // computed when it was live, so nothing is re-evaluated here.
     if config.snapshot_worlds > 0 && id.snapshots.len() > 1 {
         let t_sel = Instant::now();
-        let backend =
-            osn_propagation::McBackend::sample(graph, config.snapshot_worlds, config.rng_seed);
+        let owned;
+        let backend = match snapshot_backend {
+            Some(shared) => shared,
+            None => {
+                owned = osn_propagation::McBackend::sample_with(
+                    graph,
+                    config.snapshot_worlds,
+                    config.rng_seed,
+                    config.world_storage,
+                    config.cascade_kernel,
+                );
+                &owned
+            }
+        };
         telemetry.world_cache_bytes = backend.cache().resident_bytes();
         telemetry.world_live_density = backend.cache().live_density();
         telemetry.world_sampling_micros = backend.cache().sampling_micros();

@@ -102,10 +102,11 @@
 //! probability — `O(live)` RNG draws per world instead of `O(m)`. Worlds
 //! are held as a world-major CSR of ascending live edge ids, gap-encoded as
 //! `u8` deltas in `Section`-backed arrays ([`world::WorldStorage::Sparse`],
-//! the default); `--world-storage dense` (or
-//! [`world::set_default_world_storage`]) materializes the same live sets
-//! as one-bit-per-edge [`bits::BitVec`]s instead. Storage is representation
-//! only: CI diffs experiment CSVs between the two forms byte for byte.
+//! the default); `--world-storage dense` (threaded explicitly through
+//! [`world::WorldCache::sample_with_storage`] — there is no process-wide
+//! override) materializes the same live sets as one-bit-per-edge
+//! [`bits::BitVec`]s instead. Storage is representation only: CI diffs
+//! experiment CSVs between the two forms byte for byte.
 //!
 //! The cascade kernels consume a [`world::WorldRef`] view: evaluation
 //! decodes each sparse world once into a reusable per-worker buffer, then
@@ -211,8 +212,7 @@ pub use evaluator::{AnalyticEvaluator, BenefitEvaluator, DeploymentRef};
 pub use lane::{lane_cascade_block, LaneBlock, LaneOutcome, LaneScratch, LANE_WORLDS};
 pub use metrics::RedemptionReport;
 pub use monte_carlo::{
-    default_cascade_kernel, set_default_cascade_kernel, CascadeKernel, McBackend,
-    MonteCarloEvaluator, SimulationStats,
+    CascadeKernel, LaneBlockStore, McBackend, MonteCarloEvaluator, SimulationStats,
 };
 pub use spread::SpreadState;
 pub use world::{WorldCache, WorldRef, WorldStorage};

@@ -50,11 +50,11 @@ use crate::bits::BitVec;
 use crate::evaluator::{BenefitEvaluator, DeploymentRef};
 use crate::lane::{lane_cascade_block, LaneBlock, LaneScratch, LANE_WORLDS};
 use crate::reach::{world_cascade, world_cascade_visit, CascadeScratch, WorldOutcome};
-use crate::world::{WorldCache, WorldRef};
+use crate::world::{WorldCache, WorldRef, WorldStorage};
 use osn_graph::{CsrGraph, NodeData, NodeId};
 use osn_pool::ThreadPool;
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 /// Which cascade kernel an evaluator runs per world. Execution strategy
@@ -70,20 +70,13 @@ pub enum CascadeKernel {
     Scalar = 1,
 }
 
-static DEFAULT_KERNEL: AtomicU8 = AtomicU8::new(CascadeKernel::Lane as u8);
-
-/// Set the process-wide kernel used by newly constructed evaluators — the
-/// `repro --cascade-kernel` escape hatch. Execution strategy only; results
-/// never change.
-pub fn set_default_cascade_kernel(kernel: CascadeKernel) {
-    DEFAULT_KERNEL.store(kernel as u8, Ordering::Relaxed);
-}
-
-/// The process-wide default cascade kernel (lane unless overridden).
-pub fn default_cascade_kernel() -> CascadeKernel {
-    if DEFAULT_KERNEL.load(Ordering::Relaxed) == CascadeKernel::Scalar as u8 {
-        CascadeKernel::Scalar
-    } else {
+/// Lane is the compile-time default everywhere. There is deliberately no
+/// process-wide mutable override: callers that want the scalar reference
+/// pass it explicitly ([`MonteCarloEvaluator::with_kernel`],
+/// [`McBackend::with_kernel`]), so two concurrent campaigns requesting
+/// different kernels can never race each other's configuration.
+impl Default for CascadeKernel {
+    fn default() -> Self {
         CascadeKernel::Lane
     }
 }
@@ -169,8 +162,10 @@ pub struct MonteCarloEvaluator<'a> {
     /// kernel pays the world decode once per evaluator where the scalar
     /// fold re-decodes every `simulate_batch` call. Resident size is ~12
     /// bytes per union-live edge per block (comparable to dense world
-    /// storage of the same worlds).
-    lane_blocks: Vec<OnceLock<LaneBlock>>,
+    /// storage of the same worlds). Long-lived owners (the serve daemon's
+    /// resident backends) swap in a shared [`LaneBlockStore`] so the decode
+    /// survives the evaluator itself.
+    lane_blocks: LaneBlocks<'a>,
     /// World×candidate cascades run by each kernel (telemetry: fig9's
     /// `lane_kernel_worlds` / `scalar_kernel_worlds` columns read these).
     lane_worlds: AtomicU64,
@@ -194,18 +189,32 @@ impl<'a> MonteCarloEvaluator<'a> {
         pool: &'a ThreadPool,
     ) -> Self {
         assert_eq!(cache.edge_count(), graph.edge_count());
-        let mut lane_blocks = Vec::new();
-        lane_blocks.resize_with(cache.len().div_ceil(LANE_WORLDS), OnceLock::new);
+        let mut slots = Vec::new();
+        slots.resize_with(lane_block_count(cache), OnceLock::new);
         MonteCarloEvaluator {
             graph,
             data,
             cache,
             pool,
-            kernel: default_cascade_kernel(),
-            lane_blocks,
+            kernel: CascadeKernel::default(),
+            lane_blocks: LaneBlocks::Owned(slots),
             lane_worlds: AtomicU64::new(0),
             scalar_worlds: AtomicU64::new(0),
         }
+    }
+
+    /// Share lane-block decodes through `store` instead of this evaluator's
+    /// own slots. `store` must have been built ([`LaneBlockStore::for_cache`])
+    /// for the exact cache this evaluator reads: blocks are cached by block
+    /// index, so a store from a different cache would serve wrong worlds.
+    pub fn with_lane_store(mut self, store: &'a LaneBlockStore) -> Self {
+        assert_eq!(
+            store.blocks.len(),
+            lane_block_count(self.cache),
+            "lane store sized for a different world cache"
+        );
+        self.lane_blocks = LaneBlocks::Shared(store);
+        self
     }
 
     /// Override the cascade kernel (constructors take the process default).
@@ -347,7 +356,7 @@ impl<'a> MonteCarloEvaluator<'a> {
             .fetch_add((count * batch.len()) as u64, Ordering::Relaxed);
         // First cascade over this block decodes it; every later batch and
         // candidate reuses the compacted adjacency.
-        let block = self.lane_blocks[base / LANE_WORLDS].get_or_init(|| {
+        let block = self.lane_blocks.slot(base / LANE_WORLDS).get_or_init(|| {
             let valid = if count == LANE_WORLDS {
                 !0u64
             } else {
@@ -497,28 +506,125 @@ impl<'a> MonteCarloEvaluator<'a> {
     }
 }
 
-/// The owning Monte-Carlo backend factory: one sampled world cache plus the
-/// canonical way to stand up evaluators over it. This replaces the
-/// `WorldCache::sample` + `MonteCarloEvaluator::new(graph, data, &cache)`
-/// pair that used to be copy-pasted across `s3ca` and the bench
-/// experiments — sampling parameters and evaluator construction live in one
-/// place.
+/// Lane-block slots per cache: one 64-world block per [`LANE_WORLDS`] worlds.
+fn lane_block_count(cache: &WorldCache) -> usize {
+    cache.len().div_ceil(LANE_WORLDS)
+}
+
+/// Where an evaluator keeps its lazily decoded lane blocks: its own slots
+/// (the default — blocks die with the evaluator) or a caller-owned
+/// [`LaneBlockStore`] shared across evaluators over the same cache.
+enum LaneBlocks<'a> {
+    Owned(Vec<OnceLock<LaneBlock>>),
+    Shared(&'a LaneBlockStore),
+}
+
+impl LaneBlocks<'_> {
+    fn slot(&self, i: usize) -> &OnceLock<LaneBlock> {
+        match self {
+            LaneBlocks::Owned(slots) => &slots[i],
+            LaneBlocks::Shared(store) => &store.blocks[i],
+        }
+    }
+}
+
+/// A cache-lifetime home for lane-block decodes: one [`OnceLock`] slot per
+/// 64-world block of one [`WorldCache`]. Evaluators attached via
+/// [`MonteCarloEvaluator::with_lane_store`] fill slots on first use and
+/// every later evaluator over the same store reuses them — so a resident
+/// server pays each block decode once per cache lifetime, not once per
+/// request. Blocks are pure functions of `(graph, cache)`; concurrent
+/// first-builders race benignly inside `OnceLock`.
+pub struct LaneBlockStore {
+    blocks: Vec<OnceLock<LaneBlock>>,
+}
+
+impl LaneBlockStore {
+    /// An empty store sized for `cache` (blocks decode lazily on first use).
+    pub fn for_cache(cache: &WorldCache) -> Self {
+        let mut blocks = Vec::new();
+        blocks.resize_with(lane_block_count(cache), OnceLock::new);
+        LaneBlockStore { blocks }
+    }
+
+    /// Bytes held by the blocks decoded so far.
+    pub fn resident_bytes(&self) -> usize {
+        self.blocks
+            .iter()
+            .filter_map(|b| b.get())
+            .map(|b| b.resident_bytes())
+            .sum()
+    }
+
+    /// How many of the store's blocks have been decoded.
+    pub fn decoded_blocks(&self) -> usize {
+        self.blocks.iter().filter(|b| b.get().is_some()).count()
+    }
+}
+
+/// The owning Monte-Carlo backend factory: one sampled world cache, the
+/// cascade kernel its evaluators run, and a shared [`LaneBlockStore`] so
+/// repeated evaluator construction (one per campaign request in the serve
+/// daemon) reuses block decodes. This replaces the `WorldCache::sample` +
+/// `MonteCarloEvaluator::new(graph, data, &cache)` pair that used to be
+/// copy-pasted across `s3ca` and the bench experiments — sampling
+/// parameters and evaluator construction live in one place, with **no**
+/// process-global configuration involved.
 pub struct McBackend {
     cache: WorldCache,
+    kernel: CascadeKernel,
+    lane_store: LaneBlockStore,
 }
 
 impl McBackend {
-    /// Sample `worlds` worlds with streams seeded from `seed` (the
-    /// process-default storage, the shared global pool).
+    /// Sample `worlds` worlds with streams seeded from `seed` (default
+    /// sparse storage and lane kernel, the shared global pool).
     pub fn sample(graph: &CsrGraph, worlds: usize, seed: u64) -> Self {
+        Self::sample_with(
+            graph,
+            worlds,
+            seed,
+            WorldStorage::default(),
+            CascadeKernel::default(),
+        )
+    }
+
+    /// Fully explicit construction: sample `worlds` worlds into `storage`
+    /// on the shared global pool, and run `kernel` in every evaluator this
+    /// backend hands out. This is the configuration seam that replaced the
+    /// old process-wide `set_default_*` globals.
+    pub fn sample_with(
+        graph: &CsrGraph,
+        worlds: usize,
+        seed: u64,
+        storage: WorldStorage,
+        kernel: CascadeKernel,
+    ) -> Self {
+        let cache =
+            WorldCache::sample_with_storage(graph, worlds, seed, storage, osn_pool::global());
+        Self::from_cache(cache).with_kernel(kernel)
+    }
+
+    /// Wrap an already-sampled cache (default lane kernel).
+    pub fn from_cache(cache: WorldCache) -> Self {
+        let lane_store = LaneBlockStore::for_cache(&cache);
         McBackend {
-            cache: WorldCache::sample(graph, worlds, seed),
+            cache,
+            kernel: CascadeKernel::default(),
+            lane_store,
         }
     }
 
-    /// Wrap an already-sampled cache.
-    pub fn from_cache(cache: WorldCache) -> Self {
-        McBackend { cache }
+    /// Run `kernel` in every evaluator this backend hands out. Execution
+    /// strategy only; results never change.
+    pub fn with_kernel(mut self, kernel: CascadeKernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// The kernel this backend's evaluators run.
+    pub fn kernel(&self) -> CascadeKernel {
+        self.kernel
     }
 
     /// The backing world cache (telemetry reads sizes and densities here).
@@ -526,13 +632,21 @@ impl McBackend {
         &self.cache
     }
 
-    /// A batched evaluator over the backing cache on the global pool.
+    /// The shared lane-block store (telemetry reads resident bytes here).
+    pub fn lane_store(&self) -> &LaneBlockStore {
+        &self.lane_store
+    }
+
+    /// A batched evaluator over the backing cache on the global pool,
+    /// running this backend's kernel and sharing its lane-block store.
     pub fn evaluator<'a>(
         &'a self,
         graph: &'a CsrGraph,
         data: &'a NodeData,
     ) -> MonteCarloEvaluator<'a> {
         MonteCarloEvaluator::new(graph, data, &self.cache)
+            .with_kernel(self.kernel)
+            .with_lane_store(&self.lane_store)
     }
 
     /// As [`evaluator`](Self::evaluator), folding on an explicit pool.
@@ -543,6 +657,8 @@ impl McBackend {
         pool: &'a ThreadPool,
     ) -> MonteCarloEvaluator<'a> {
         MonteCarloEvaluator::with_pool(graph, data, &self.cache, pool)
+            .with_kernel(self.kernel)
+            .with_lane_store(&self.lane_store)
     }
 }
 
@@ -844,14 +960,138 @@ mod tests {
 
     #[test]
     fn default_kernel_is_lane() {
-        // (Process-global; other tests override only via `with_kernel`.)
-        assert_eq!(default_cascade_kernel(), CascadeKernel::Lane);
+        assert_eq!(CascadeKernel::default(), CascadeKernel::Lane);
         let (g, d) = example1();
         let cache = WorldCache::sample(&g, 4, 1);
         assert_eq!(
             MonteCarloEvaluator::new(&g, &d, &cache).kernel(),
             CascadeKernel::Lane
         );
+    }
+
+    /// Regression for the process-global kernel default that used to live
+    /// here: two threads standing up evaluators with *different* kernels at
+    /// the same time must each get exactly the kernel they asked for and
+    /// bit-identical results to their serial single-kernel runs. With the
+    /// old `set_default_cascade_kernel` AtomicU8, one thread's configuration
+    /// could leak into the other's freshly constructed evaluator.
+    #[test]
+    fn mixed_kernel_evaluators_from_two_threads_are_isolated() {
+        let (g, d) = example1();
+        let cache = WorldCache::sample(&g, 96, 11);
+        let k = vec![2u32, 1, 1, 0, 0, 0, 0];
+        let seeds = [NodeId(0), NodeId(2)];
+        let serial = |kernel: CascadeKernel| {
+            MonteCarloEvaluator::new(&g, &d, &cache)
+                .with_kernel(kernel)
+                .simulate(&seeds, &k)
+        };
+        let want_lane = serial(CascadeKernel::Lane);
+        let want_scalar = serial(CascadeKernel::Scalar);
+        for _round in 0..8 {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = [CascadeKernel::Lane, CascadeKernel::Scalar]
+                    .into_iter()
+                    .cycle()
+                    .take(8)
+                    .map(|kernel| {
+                        let (g, d, cache) = (&g, &d, &cache);
+                        let (seeds, k) = (&seeds, &k);
+                        s.spawn(move || {
+                            let ev = MonteCarloEvaluator::new(g, d, cache).with_kernel(kernel);
+                            (kernel, ev.kernel(), ev.simulate(seeds, k))
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    let (asked, got, stats) = h.join().unwrap();
+                    assert_eq!(asked, got, "evaluator changed kernel under concurrency");
+                    let want = match asked {
+                        CascadeKernel::Lane => want_lane,
+                        CascadeKernel::Scalar => want_scalar,
+                    };
+                    assert_eq!(
+                        stats.expected_benefit.to_bits(),
+                        want.expected_benefit.to_bits(),
+                        "{asked:?} diverged from its serial run"
+                    );
+                    assert_eq!(stats, want);
+                }
+            });
+        }
+    }
+
+    /// Many threads calling `simulate_batch` against ONE shared evaluator:
+    /// the first callers race the `OnceLock<LaneBlock>` decode, and every
+    /// result must still be bit-identical to the serial answer.
+    #[test]
+    fn concurrent_simulate_batch_on_shared_evaluator_is_bit_identical() {
+        let (g, d) = example1();
+        // 3 ragged lane blocks so several OnceLock slots race.
+        let cache = WorldCache::sample(&g, 160, 23);
+        let seeds_a = [NodeId(0)];
+        let seeds_b = [NodeId(0), NodeId(1)];
+        let k1 = vec![2u32, 1, 1, 0, 0, 0, 0];
+        let k2 = vec![1u32, 2, 2, 0, 0, 0, 0];
+        let batch = [
+            DeploymentRef {
+                seeds: &seeds_a,
+                coupons: &k1,
+            },
+            DeploymentRef {
+                seeds: &seeds_b,
+                coupons: &k2,
+            },
+        ];
+        for kernel in [CascadeKernel::Lane, CascadeKernel::Scalar] {
+            let serial = MonteCarloEvaluator::new(&g, &d, &cache)
+                .with_kernel(kernel)
+                .simulate_batch(&batch);
+            let shared = MonteCarloEvaluator::new(&g, &d, &cache).with_kernel(kernel);
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..8)
+                    .map(|_| {
+                        let (shared, batch) = (&shared, &batch);
+                        s.spawn(move || shared.simulate_batch(batch))
+                    })
+                    .collect();
+                for h in handles {
+                    let got = h.join().unwrap();
+                    assert_eq!(got.len(), serial.len());
+                    for (got, want) in got.iter().zip(&serial) {
+                        assert_eq!(
+                            got.expected_benefit.to_bits(),
+                            want.expected_benefit.to_bits(),
+                            "{kernel:?} concurrent batch diverged from serial"
+                        );
+                        assert_eq!(got, want);
+                    }
+                }
+            });
+        }
+    }
+
+    /// Evaluators sharing one [`LaneBlockStore`] agree bitwise with an
+    /// evaluator owning its blocks, and the store retains the decodes.
+    #[test]
+    fn shared_lane_store_matches_owned_blocks() {
+        let (g, d) = example1();
+        let cache = WorldCache::sample(&g, 96, 31);
+        let k = vec![1u32, 2, 0, 0, 1, 0, 0];
+        let seeds = [NodeId(0)];
+        let owned = MonteCarloEvaluator::new(&g, &d, &cache).simulate(&seeds, &k);
+        let store = LaneBlockStore::for_cache(&cache);
+        assert_eq!(store.decoded_blocks(), 0);
+        for _ in 0..3 {
+            let ev = MonteCarloEvaluator::new(&g, &d, &cache).with_lane_store(&store);
+            let got = ev.simulate(&seeds, &k);
+            assert_eq!(
+                got.expected_benefit.to_bits(),
+                owned.expected_benefit.to_bits()
+            );
+        }
+        assert_eq!(store.decoded_blocks(), 2, "96 worlds = 2 lane blocks");
+        assert!(store.resident_bytes() > 0);
     }
 
     #[test]

@@ -53,7 +53,6 @@ use osn_graph::CsrGraph;
 use osn_pool::ThreadPool;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::sync::atomic::{AtomicU8, Ordering};
 use std::time::Instant;
 
 /// How sampled worlds are held in memory. Representation only: both forms
@@ -68,20 +67,12 @@ pub enum WorldStorage {
     Dense = 1,
 }
 
-static DEFAULT_STORAGE: AtomicU8 = AtomicU8::new(WorldStorage::Sparse as u8);
-
-/// Set the process-wide storage used by [`WorldCache::sample`] /
-/// [`WorldCache::sample_with_pool`] — the `repro --world-storage` escape
-/// hatch. Representation only; results never change.
-pub fn set_default_world_storage(storage: WorldStorage) {
-    DEFAULT_STORAGE.store(storage as u8, Ordering::Relaxed);
-}
-
-/// The process-wide default world storage (sparse unless overridden).
-pub fn default_world_storage() -> WorldStorage {
-    if DEFAULT_STORAGE.load(Ordering::Relaxed) == WorldStorage::Dense as u8 {
-        WorldStorage::Dense
-    } else {
+/// Sparse is the compile-time default everywhere. There is deliberately no
+/// process-wide mutable override: callers that want dense storage pass it
+/// explicitly ([`WorldCache::sample_with_storage`]), so concurrent callers
+/// can never race each other's configuration.
+impl Default for WorldStorage {
+    fn default() -> Self {
         WorldStorage::Sparse
     }
 }
@@ -174,7 +165,7 @@ impl WorldCache {
     /// Sample `count` worlds with streams seeded from `seed` (each world
     /// has an independent deterministic stream, so caches are reproducible
     /// and workers can generate disjoint world ranges), generating on the
-    /// shared [`osn_pool::global`] pool in the process-default storage.
+    /// shared [`osn_pool::global`] pool in the default (sparse) storage.
     pub fn sample(graph: &CsrGraph, count: usize, seed: u64) -> Self {
         Self::sample_with_pool(graph, count, seed, osn_pool::global())
     }
@@ -182,7 +173,7 @@ impl WorldCache {
     /// Sample on an explicit pool. World `i` is always RNG stream `i`, so
     /// the cache contents never depend on the pool size.
     pub fn sample_with_pool(graph: &CsrGraph, count: usize, seed: u64, pool: &ThreadPool) -> Self {
-        Self::sample_with_storage(graph, count, seed, default_world_storage(), pool)
+        Self::sample_with_storage(graph, count, seed, WorldStorage::default(), pool)
     }
 
     /// Sample into an explicit storage representation. Both storages
@@ -1144,8 +1135,7 @@ mod tests {
 
     #[test]
     fn default_storage_is_sparse() {
-        // (Process-global; other tests do not override it.)
-        assert_eq!(default_world_storage(), WorldStorage::Sparse);
+        assert_eq!(WorldStorage::default(), WorldStorage::Sparse);
         let g = graph();
         assert_eq!(WorldCache::sample(&g, 4, 1).storage(), WorldStorage::Sparse);
     }

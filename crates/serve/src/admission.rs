@@ -1,0 +1,85 @@
+//! Bounded admission of in-flight campaigns.
+//!
+//! The daemon accepts any number of connections, but only `max` campaigns
+//! run at once — the rest block in [`Admission::acquire`] until a permit
+//! frees up. This keeps a burst of requests from oversubscribing the shared
+//! `osn-pool` (each campaign already fans out across its workers) and
+//! bounds resident scratch memory.
+
+use std::sync::{Condvar, Mutex};
+
+/// A counting semaphore over `Mutex` + `Condvar` (no external deps).
+pub struct Admission {
+    max: usize,
+    inflight: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Admission {
+    /// Gate admitting at most `max` concurrent holders.
+    pub fn new(max: usize) -> Self {
+        assert!(max > 0, "admission capacity must be positive");
+        Admission {
+            max,
+            inflight: Mutex::new(0),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Block until a slot is free, then occupy it for the permit's lifetime.
+    pub fn acquire(&self) -> Permit<'_> {
+        let mut n = self.inflight.lock().expect("admission lock");
+        while *n >= self.max {
+            n = self.cv.wait(n).expect("admission wait");
+        }
+        *n += 1;
+        Permit(self)
+    }
+
+    /// Currently admitted campaigns.
+    pub fn in_flight(&self) -> usize {
+        *self.inflight.lock().expect("admission lock")
+    }
+
+    /// The configured bound.
+    pub fn capacity(&self) -> usize {
+        self.max
+    }
+}
+
+/// RAII permit; dropping it releases the slot and wakes one waiter.
+pub struct Permit<'a>(&'a Admission);
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut n = self.0.inflight.lock().expect("admission lock");
+        *n -= 1;
+        self.0.cv.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn never_admits_more_than_capacity() {
+        let gate = Admission::new(3);
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..16 {
+                s.spawn(|| {
+                    let _permit = gate.acquire();
+                    let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    live.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 3, "admission gate leaked");
+        assert_eq!(gate.in_flight(), 0, "permits not all released");
+    }
+}

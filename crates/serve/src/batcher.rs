@@ -1,0 +1,185 @@
+//! Coalescing of concurrent evaluation probes into batched simulation.
+//!
+//! Every campaign ends with one Monte-Carlo evaluation of its final
+//! deployment, and `PROBE` requests issue ad-hoc evaluations; under load,
+//! many of these target the *same* resident backend at the same time.
+//! Scoring `k` deployments with [`MonteCarloEvaluator::simulate_batch`] is
+//! one pass over the world cache instead of `k`, so the batcher elects the
+//! first arrival per backend as leader, lingers briefly to let concurrent
+//! probes pile on, and runs the whole group as a single batch.
+//!
+//! Coalescing is **result-neutral**: batched simulation is bit-identical
+//! to lone simulation (element `i` of `simulate_batch` equals a lone
+//! `simulate` of deployment `i` — pinned by `osn-propagation`'s tests), so
+//! whether a probe rode a batch or ran alone is unobservable in the reply.
+//!
+//! [`MonteCarloEvaluator::simulate_batch`]: osn_propagation::MonteCarloEvaluator::simulate_batch
+
+use osn_graph::NodeId;
+use osn_propagation::{DeploymentRef, McBackend, SimulationStats};
+use s3crm_bench::dataset::LoadedDataset;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// How long a leader waits for followers before running the batch. Long
+/// enough for genuinely concurrent probes to enqueue, far below any
+/// campaign's evaluation time.
+const LINGER: Duration = Duration::from_millis(1);
+
+#[derive(Default)]
+struct Slot {
+    result: Mutex<Option<SimulationStats>>,
+    cv: Condvar,
+}
+
+struct Job {
+    seeds: Vec<NodeId>,
+    coupons: Vec<u32>,
+    slot: Arc<Slot>,
+}
+
+#[derive(Default)]
+struct GroupState {
+    jobs: Vec<Job>,
+    leader_active: bool,
+}
+
+#[derive(Default)]
+struct Group {
+    state: Mutex<GroupState>,
+}
+
+/// One batcher per daemon; groups form per backend key.
+#[derive(Default)]
+pub struct ProbeBatcher {
+    groups: Mutex<HashMap<String, Arc<Group>>>,
+    probes: AtomicU64,
+    batches: AtomicU64,
+}
+
+impl ProbeBatcher {
+    /// Evaluate `(seeds, coupons)` on `backend`, riding a shared batch when
+    /// other probes for the same `key` are in flight. `key` must uniquely
+    /// identify the backend (the caller derives it from the backend's cache
+    /// parameters and graph variant) so grouped jobs really share worlds.
+    pub fn submit(
+        &self,
+        key: &str,
+        backend: &McBackend,
+        ds: &LoadedDataset,
+        seeds: Vec<NodeId>,
+        coupons: Vec<u32>,
+    ) -> SimulationStats {
+        let group = {
+            let mut groups = self.groups.lock().expect("batcher groups lock");
+            groups.entry(key.to_string()).or_default().clone()
+        };
+        let slot = Arc::new(Slot::default());
+        let is_leader = {
+            let mut st = group.state.lock().expect("batcher group lock");
+            st.jobs.push(Job {
+                seeds,
+                coupons,
+                slot: slot.clone(),
+            });
+            if st.leader_active {
+                false
+            } else {
+                st.leader_active = true;
+                true
+            }
+        };
+        if is_leader {
+            std::thread::sleep(LINGER);
+            let jobs = {
+                let mut st = group.state.lock().expect("batcher group lock");
+                st.leader_active = false;
+                std::mem::take(&mut st.jobs)
+            };
+            let batch: Vec<DeploymentRef<'_>> = jobs
+                .iter()
+                .map(|j| DeploymentRef {
+                    seeds: &j.seeds,
+                    coupons: &j.coupons,
+                })
+                .collect();
+            let stats = backend
+                .evaluator(&ds.graph, &ds.data)
+                .simulate_batch(&batch);
+            self.probes.fetch_add(jobs.len() as u64, Ordering::Relaxed);
+            self.batches.fetch_add(1, Ordering::Relaxed);
+            for (job, s) in jobs.iter().zip(stats) {
+                *job.slot.result.lock().expect("batcher slot lock") = Some(s);
+                job.slot.cv.notify_all();
+            }
+        }
+        let mut r = slot.result.lock().expect("batcher slot lock");
+        while r.is_none() {
+            r = slot.cv.wait(r).expect("batcher slot wait");
+        }
+        r.take().expect("batcher result present")
+    }
+
+    /// `(probes evaluated, batches run)` — `probes > batches` means
+    /// coalescing actually merged traffic.
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.probes.load(Ordering::Relaxed),
+            self.batches.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s3crm_bench::Effort;
+
+    fn tiny_dataset() -> LoadedDataset {
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+        let fixture = dir.join("../bench/fixtures/smoke_snap.txt");
+        s3crm_bench::dataset::load_dataset(&fixture, &Effort::micro()).expect("fixture loads")
+    }
+
+    #[test]
+    fn coalesced_probes_are_bit_identical_to_lone_simulation() {
+        let ds = tiny_dataset();
+        let backend = McBackend::sample(&ds.graph, 64, 7);
+        let batcher = ProbeBatcher::default();
+        let deployments: Vec<(Vec<NodeId>, Vec<u32>)> = (0..8)
+            .map(|i| {
+                let mut coupons = vec![0u32; ds.graph.node_count()];
+                coupons[(i * 5) % ds.graph.node_count()] = 1 + i as u32 % 3;
+                (vec![NodeId(i as u32)], coupons)
+            })
+            .collect();
+        let batched: Vec<SimulationStats> = std::thread::scope(|s| {
+            let handles: Vec<_> = deployments
+                .iter()
+                .map(|(seeds, coupons)| {
+                    let (batcher, backend, ds) = (&batcher, &backend, &ds);
+                    s.spawn(move || {
+                        batcher.submit("eval|w64|s7", backend, ds, seeds.clone(), coupons.clone())
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for ((seeds, coupons), got) in deployments.iter().zip(&batched) {
+            let lone = backend
+                .evaluator(&ds.graph, &ds.data)
+                .simulate(seeds, coupons);
+            assert_eq!(
+                got.expected_benefit.to_bits(),
+                lone.expected_benefit.to_bits(),
+                "coalesced probe diverged from lone simulation"
+            );
+            assert_eq!(got.mean_activated.to_bits(), lone.mean_activated.to_bits());
+        }
+        let (probes, batches) = batcher.counters();
+        assert_eq!(probes, 8);
+        assert!(batches <= probes, "batch count cannot exceed probe count");
+    }
+}

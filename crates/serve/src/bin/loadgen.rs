@@ -1,0 +1,205 @@
+//! Heavy-traffic load generator for `osn-serve`.
+//!
+//! ```text
+//! loadgen --data PATH --serial --campaigns N [--out DIR]
+//! loadgen --addr HOST:PORT --campaigns N --threads T [--out DIR]
+//! loadgen --addr HOST:PORT --shutdown
+//! ```
+//!
+//! Campaign `i`'s spec is the deterministic [`spec_for`] mix (algorithms ×
+//! budgets × kernels × storages), identical in both modes, so the files a
+//! concurrent client run writes must be byte-identical to the serial
+//! reference's — `repro csvdiff A B 0` per pair is the CI check. Client
+//! mode prints a throughput/latency summary line (the heavy-traffic bench
+//! trajectory point).
+
+use s3crm_serve::{CampaignSpec, Client, ServeState};
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+fn die(msg: &str) -> ! {
+    eprintln!("loadgen: {msg}");
+    std::process::exit(2);
+}
+
+/// The deterministic campaign mix: cycles algorithms, budget multipliers,
+/// world storages, and cascade kernels so a run of ≥ 12 campaigns exercises
+/// every axis, including mixed kernels in flight at once.
+fn spec_for(i: usize) -> CampaignSpec {
+    use osn_propagation::{CascadeKernel, WorldStorage};
+    use s3crm_bench::Algorithm;
+    let algorithms = [
+        Algorithm::S3ca,
+        Algorithm::ImU,
+        Algorithm::PmL,
+        Algorithm::ImS,
+    ];
+    let budgets = [1.0, 0.5, 2.0];
+    CampaignSpec {
+        algorithm: algorithms[i % algorithms.len()],
+        budget_mult: budgets[i % budgets.len()],
+        world_storage: if (i / 2).is_multiple_of(2) {
+            WorldStorage::Sparse
+        } else {
+            WorldStorage::Dense
+        },
+        cascade_kernel: if i.is_multiple_of(2) {
+            CascadeKernel::Lane
+        } else {
+            CascadeKernel::Scalar
+        },
+        ..CampaignSpec::default()
+    }
+}
+
+fn write_reply(out: &Option<PathBuf>, i: usize, lines: &[String]) {
+    let Some(dir) = out else { return };
+    let path = dir.join(format!("campaign_{i:04}.csv"));
+    let body = lines.join("\n") + "\n";
+    std::fs::write(&path, body)
+        .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", path.display())));
+}
+
+fn main() {
+    let mut data: Option<PathBuf> = None;
+    let mut addr: Option<String> = None;
+    let mut serial = false;
+    let mut shutdown = false;
+    let mut campaigns = 64usize;
+    let mut threads = 16usize;
+    let mut out: Option<PathBuf> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| die(&format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--data" => data = Some(PathBuf::from(value("--data"))),
+            "--addr" => addr = Some(value("--addr")),
+            "--serial" => serial = true,
+            "--shutdown" => shutdown = true,
+            "--campaigns" => {
+                campaigns = value("--campaigns")
+                    .parse()
+                    .unwrap_or_else(|_| die("--campaigns needs a positive integer"));
+            }
+            "--threads" => {
+                threads = value("--threads")
+                    .parse()
+                    .unwrap_or_else(|_| die("--threads needs a positive integer"));
+            }
+            "--out" => out = Some(PathBuf::from(value("--out"))),
+            "--help" | "-h" => {
+                println!(
+                    "usage: loadgen --data PATH --serial [--campaigns N] [--out DIR]\n\
+                     \x20      loadgen --addr HOST:PORT [--campaigns N] [--threads T] [--out DIR]\n\
+                     \x20      loadgen --addr HOST:PORT --shutdown"
+                );
+                return;
+            }
+            other => die(&format!("unknown flag {other:?}")),
+        }
+    }
+    if let Some(dir) = &out {
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|e| die(&format!("cannot create {}: {e}", dir.display())));
+    }
+    if shutdown {
+        let addr = addr.unwrap_or_else(|| die("--shutdown needs --addr HOST:PORT"));
+        let mut client =
+            Client::connect(addr.as_str()).unwrap_or_else(|e| die(&format!("connect: {e}")));
+        client
+            .shutdown()
+            .unwrap_or_else(|e| die(&format!("shutdown: {e}")));
+        println!("loadgen: daemon at {addr} acknowledged shutdown");
+    } else if serial {
+        run_serial(data, campaigns, &out);
+    } else {
+        run_concurrent(addr, campaigns, threads.max(1), &out);
+    }
+}
+
+/// The reference path: the same `ServeState::run_campaign` code the daemon
+/// executes, in-process and one campaign at a time.
+fn run_serial(data: Option<PathBuf>, campaigns: usize, out: &Option<PathBuf>) {
+    let data = data.unwrap_or_else(|| die("--serial needs --data PATH"));
+    let state = ServeState::open(&data, 1).unwrap_or_else(|e| die(&e));
+    let t0 = Instant::now();
+    for i in 0..campaigns {
+        let reply = state
+            .run_campaign(&spec_for(i))
+            .unwrap_or_else(|e| die(&format!("campaign {i}: {e}")));
+        write_reply(out, i, &reply.deterministic_lines());
+    }
+    println!(
+        "loadgen: {campaigns} serial campaigns in {:.2}s",
+        t0.elapsed().as_secs_f64()
+    );
+}
+
+fn run_concurrent(addr: Option<String>, campaigns: usize, threads: usize, out: &Option<PathBuf>) {
+    let addr = addr.unwrap_or_else(|| die("client mode needs --addr HOST:PORT (or use --serial)"));
+    let next = AtomicUsize::new(0);
+    let latencies: Mutex<Vec<f64>> = Mutex::new(Vec::with_capacity(campaigns));
+    let failures = AtomicUsize::new(0);
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let (addr, next, latencies, failures) = (&addr, &next, &latencies, &failures);
+            s.spawn(move || {
+                let mut client = match Client::connect(addr.as_str()) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        eprintln!("loadgen: cannot connect to {addr}: {e}");
+                        failures.fetch_add(campaigns, Ordering::SeqCst);
+                        return;
+                    }
+                };
+                loop {
+                    let i = next.fetch_add(1, Ordering::SeqCst);
+                    if i >= campaigns {
+                        break;
+                    }
+                    let t = Instant::now();
+                    match client.campaign(&spec_for(i)) {
+                        Ok(Ok(lines)) => {
+                            let ms = t.elapsed().as_secs_f64() * 1e3;
+                            latencies.lock().expect("latency lock").push(ms);
+                            write_reply(out, i, &lines);
+                        }
+                        Ok(Err(msg)) => {
+                            eprintln!("loadgen: campaign {i} rejected: {msg}");
+                            failures.fetch_add(1, Ordering::SeqCst);
+                        }
+                        Err(e) => {
+                            eprintln!("loadgen: campaign {i} transport error: {e}");
+                            failures.fetch_add(1, Ordering::SeqCst);
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    let mut lat = latencies.into_inner().expect("latency lock");
+    lat.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let failed = failures.load(Ordering::SeqCst);
+    if lat.is_empty() || failed > 0 {
+        eprintln!("loadgen: {failed} of {campaigns} campaigns failed");
+        std::process::exit(1);
+    }
+    let pct = |p: f64| lat[((lat.len() - 1) as f64 * p).round() as usize];
+    println!(
+        "loadgen: {campaigns} campaigns over {threads} threads in {wall:.2}s — \
+         {:.1} campaigns/s, p50 {:.1} ms, p99 {:.1} ms",
+        campaigns as f64 / wall,
+        pct(0.50),
+        pct(0.99),
+    );
+    std::io::stdout().flush().ok();
+}

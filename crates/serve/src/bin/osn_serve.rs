@@ -1,0 +1,65 @@
+//! The `osn-serve` daemon binary.
+//!
+//! ```text
+//! osn-serve --data PATH [--addr 127.0.0.1:7171] [--pool-size N] [--max-inflight K]
+//! ```
+//!
+//! Loads the dataset, binds the address, prints one `listening on …` line
+//! (scripts wait for it), and serves until a `SHUTDOWN` request arrives.
+
+use s3crm_serve::{server, ServeState};
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn die(msg: &str) -> ! {
+    eprintln!("osn-serve: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut data: Option<PathBuf> = None;
+    let mut addr = "127.0.0.1:7171".to_string();
+    let mut max_inflight = 32usize;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| die(&format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--data" => data = Some(PathBuf::from(value("--data"))),
+            "--addr" => addr = value("--addr"),
+            "--max-inflight" => {
+                max_inflight = value("--max-inflight")
+                    .parse()
+                    .unwrap_or_else(|_| die("--max-inflight needs a positive integer"));
+            }
+            "--pool-size" => {
+                let n: usize = value("--pool-size")
+                    .parse()
+                    .unwrap_or_else(|_| die("--pool-size needs a positive integer"));
+                osn_pool::init_global(n).unwrap_or_else(|_| die("global pool already running"));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: osn-serve --data PATH [--addr HOST:PORT] \
+                     [--pool-size N] [--max-inflight K]"
+                );
+                return;
+            }
+            other => die(&format!("unknown flag {other:?}")),
+        }
+    }
+    let data = data.unwrap_or_else(|| die("--data PATH is required"));
+    let state = Arc::new(ServeState::open(&data, max_inflight).unwrap_or_else(|e| die(&e)));
+    for line in state.info_lines() {
+        eprintln!("osn-serve: {line}");
+    }
+    let server = server::spawn(state, addr.as_str())
+        .unwrap_or_else(|e| die(&format!("cannot bind {addr}: {e}")));
+    println!("osn-serve listening on {}", server.addr());
+    std::io::stdout().flush().ok();
+    server.wait();
+    eprintln!("osn-serve: shutdown complete");
+}

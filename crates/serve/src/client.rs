@@ -1,0 +1,86 @@
+//! Blocking client for the `osn-serve` protocol, used by `loadgen`, the
+//! integration tests, and anything else that wants to talk to the daemon
+//! without hand-rolling the framing.
+
+use crate::spec::CampaignSpec;
+use crate::state::CampaignReply;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One protocol connection. Requests are serial per connection; open more
+/// connections for concurrency.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    fn read_line(&mut self) -> std::io::Result<String> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(line.trim_end_matches(['\r', '\n']).to_string())
+    }
+
+    /// Send one request line and collect the full reply: a single line, or
+    /// everything through `END` for `OK …`-bracketed replies.
+    pub fn request(&mut self, line: &str) -> std::io::Result<Vec<String>> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let first = self.read_line()?;
+        let mut lines = vec![first];
+        if lines[0] == "OK" || lines[0].starts_with("OK ") {
+            loop {
+                let l = self.read_line()?;
+                let done = l == "END";
+                lines.push(l);
+                if done {
+                    break;
+                }
+            }
+        }
+        Ok(lines)
+    }
+
+    /// `PING` round trip; true on `PONG`.
+    pub fn ping(&mut self) -> std::io::Result<bool> {
+        Ok(self.request("PING")? == ["PONG"])
+    }
+
+    /// Run a campaign; `Ok(Err(msg))` is a well-formed server-side
+    /// rejection, the outer `Err` a transport failure. The inner `Ok`
+    /// carries the deterministic payload lines (see
+    /// [`CampaignReply::deterministic_subset`]).
+    pub fn campaign(
+        &mut self,
+        spec: &CampaignSpec,
+    ) -> std::io::Result<Result<Vec<String>, String>> {
+        let lines = self.request(&format!("CAMPAIGN {}", spec.to_line()))?;
+        if let Some(err) = lines[0].strip_prefix("ERR ") {
+            return Ok(Err(err.to_string()));
+        }
+        if lines.last().map(String::as_str) != Some("END") {
+            return Ok(Err(format!("truncated reply: {lines:?}")));
+        }
+        Ok(Ok(CampaignReply::deterministic_subset(&lines)))
+    }
+
+    /// Ask the daemon to stop accepting; true on `BYE`.
+    pub fn shutdown(&mut self) -> std::io::Result<bool> {
+        Ok(self.request("SHUTDOWN")? == ["BYE"])
+    }
+}

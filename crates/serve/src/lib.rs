@@ -1,0 +1,56 @@
+//! `osn-serve` — a long-lived campaign-allocation daemon.
+//!
+//! The `repro` binary answers one experiment per process: it loads the
+//! graph, samples every world cache, runs the campaign, and exits — so
+//! back-to-back campaigns on the same network pay the full setup cost each
+//! time. This crate keeps everything resident instead: the loaded dataset,
+//! every sampled [`osn_propagation::McBackend`] (world cache + decoded
+//! lane blocks), and the re-weighted graph variants live for the lifetime
+//! of the process, shared zero-copy across concurrent campaigns.
+//!
+//! # Protocol
+//!
+//! Line-delimited text over TCP (`std::net` only — the build environment
+//! has no async runtime, and none is needed for a thread-per-connection
+//! daemon). Requests are single lines; multi-line replies are bracketed by
+//! `OK …` and `END`:
+//!
+//! | request | reply |
+//! |---|---|
+//! | `PING` | `PONG` |
+//! | `INFO` | `OK` + `key=value` lines + `END` |
+//! | `CAMPAIGN k=v …` | `OK rows=N` + `SUMMARY`/`DEPLOY` CSV lines + `TELEMETRY …` + `END` |
+//! | `PROBE k=v …` | `STATS benefit=… activated=… …` |
+//! | `SHUTDOWN` | `BYE`, then the daemon stops accepting |
+//!
+//! Any malformed request gets a one-line `ERR <message>`.
+//!
+//! # Determinism
+//!
+//! Campaign replies contain no wall-clock data outside the `TELEMETRY`
+//! line, and every algorithm in the workspace is bit-deterministic for a
+//! given spec (world `i` is RNG stream `i`; see `osn-propagation`), so the
+//! `SUMMARY` and `DEPLOY` lines of a campaign are byte-identical whether it
+//! ran alone, concurrently with others, or in-process via
+//! [`state::ServeState::run_campaign`] (the `loadgen --serial` reference
+//! path). CI diffs the two at tolerance zero.
+//!
+//! # Concurrency model
+//!
+//! One OS thread per connection; campaigns share the process-wide
+//! `osn-pool` for their inner parallelism. The [`admission::Admission`]
+//! gate bounds in-flight campaigns, and the [`batcher::ProbeBatcher`]
+//! coalesces concurrent evaluation probes against the same resident
+//! backend into single `simulate_batch` passes (batching is result-neutral
+//! because batched simulation is bit-identical to lone simulation).
+
+pub mod admission;
+pub mod batcher;
+pub mod client;
+pub mod server;
+pub mod spec;
+pub mod state;
+
+pub use client::Client;
+pub use spec::{CampaignSpec, WeightChoice};
+pub use state::{CampaignReply, ServeState};

@@ -1,0 +1,139 @@
+//! TCP front end: accept loop, per-connection threads, request dispatch.
+//!
+//! `std::net` only — blocking I/O with one thread per connection. The
+//! daemon's concurrency bound is the admission gate in [`ServeState`], not
+//! the connection count, so cheap requests (`PING`, `INFO`, `PROBE`) never
+//! queue behind long campaigns.
+
+use crate::spec::{CampaignSpec, ProbeSpec};
+use crate::state::ServeState;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running daemon; dropping the handle does NOT stop it — send
+/// `SHUTDOWN` (or call [`Server::shutdown`]) and then [`Server::wait`].
+pub struct Server {
+    addr: SocketAddr,
+    accept: JoinHandle<()>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Block until the accept loop exits (after a `SHUTDOWN` request).
+    pub fn wait(self) {
+        self.accept.join().expect("accept loop panicked");
+    }
+
+    /// Stop accepting: set the flag and poke the listener awake.
+    pub fn shutdown(&self) {
+        trigger_shutdown(&self.shutdown, self.addr);
+    }
+}
+
+fn trigger_shutdown(flag: &AtomicBool, addr: SocketAddr) {
+    flag.store(true, Ordering::SeqCst);
+    // The accept loop blocks in `accept`; a throwaway connection wakes it
+    // so it can observe the flag.
+    let _ = TcpStream::connect(addr);
+}
+
+/// Bind `bind` (e.g. `127.0.0.1:0` for an ephemeral port) and start
+/// accepting in a background thread.
+pub fn spawn<A: ToSocketAddrs>(state: Arc<ServeState>, bind: A) -> std::io::Result<Server> {
+    let listener = TcpListener::bind(bind)?;
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let flag = shutdown.clone();
+    let accept = std::thread::spawn(move || accept_loop(listener, state, flag, addr));
+    Ok(Server {
+        addr,
+        accept,
+        shutdown,
+    })
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    state: Arc<ServeState>,
+    shutdown: Arc<AtomicBool>,
+    addr: SocketAddr,
+) {
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let state = state.clone();
+        let shutdown = shutdown.clone();
+        // Connection threads detach; they hold only Arcs and exit when the
+        // peer disconnects, so nothing joins them.
+        std::thread::spawn(move || {
+            let _ = handle_connection(stream, &state, &shutdown, addr);
+        });
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    state: &Arc<ServeState>,
+    shutdown: &Arc<AtomicBool>,
+    addr: SocketAddr,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    for line in reader.lines() {
+        let line = line?;
+        let request = line.trim();
+        if request.is_empty() {
+            continue;
+        }
+        let (stop, reply) = dispatch(state, request);
+        for l in &reply {
+            writer.write_all(l.as_bytes())?;
+            writer.write_all(b"\n")?;
+        }
+        writer.flush()?;
+        if stop {
+            trigger_shutdown(shutdown, addr);
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Answer one request line; `true` means the daemon should stop accepting.
+fn dispatch(state: &Arc<ServeState>, request: &str) -> (bool, Vec<String>) {
+    let (verb, body) = match request.split_once(' ') {
+        Some((v, b)) => (v, b),
+        None => (request, ""),
+    };
+    let reply = match verb {
+        "PING" => vec!["PONG".to_string()],
+        "INFO" => {
+            let mut lines = vec!["OK".to_string()];
+            lines.extend(state.info_lines());
+            lines.push("END".to_string());
+            lines
+        }
+        "CAMPAIGN" => match CampaignSpec::parse(body).and_then(|s| state.run_campaign(&s)) {
+            Ok(reply) => reply.wire_lines(),
+            Err(e) => vec![format!("ERR {e}")],
+        },
+        "PROBE" => match ProbeSpec::parse(body).and_then(|s| state.probe(&s)) {
+            Ok(line) => vec![line],
+            Err(e) => vec![format!("ERR {e}")],
+        },
+        "SHUTDOWN" => return (true, vec!["BYE".to_string()]),
+        other => vec![format!("ERR unknown request {other:?}")],
+    };
+    (false, reply)
+}

@@ -1,0 +1,452 @@
+//! Resident daemon state: the loaded dataset, its re-weighted variants,
+//! and every sampled Monte-Carlo backend, shared across concurrent
+//! campaigns for the lifetime of the process.
+//!
+//! Immutability is the sharing model: graphs, node data, world caches, and
+//! decoded lane blocks are all read-only after construction, so campaigns
+//! borrow them zero-copy through `Arc`s — there is no per-campaign copy of
+//! anything sized by the graph. The only mutable state is the two cache
+//! maps (guarded by plain mutexes on the cold miss path) and counters.
+
+use crate::admission::Admission;
+use crate::batcher::ProbeBatcher;
+use crate::spec::{algorithm_token, CampaignSpec, ProbeSpec, WeightChoice};
+use osn_gen::seeded_rng;
+use osn_gen::weights::assign_weights;
+use osn_graph::GraphBuilder;
+use osn_propagation::{CascadeKernel, McBackend, RedemptionReport, SimulationStats, WorldStorage};
+use s3crm_bench::dataset::{load_dataset, LoadedDataset};
+use s3crm_bench::scenario::run_algorithm;
+use s3crm_bench::Algorithm;
+use s3crm_core::{s3ca_with_snapshot_backend, Telemetry};
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Salt separating evaluation worlds from the worlds the IM baselines
+/// optimize on — identical to the `repro` runner's, so a campaign's final
+/// evaluation uses the exact worlds a CLI run of the same spec would.
+const EVAL_SALT: u64 = 0x0E7A_15A1;
+
+/// Seed of the RNG that re-weights graph variants (only Trivalency draws
+/// from it; the label alone must determine the variant).
+const REWEIGHT_SEED: u64 = 0x0E1_6B7;
+
+/// The daemon's shared state. One instance per process; every connection
+/// thread works through the same `Arc<ServeState>`.
+pub struct ServeState {
+    dataset: Arc<LoadedDataset>,
+    /// Re-weighted graph variants, keyed by [`WeightChoice::label`].
+    variants: Mutex<HashMap<String, Arc<LoadedDataset>>>,
+    /// Resident backends keyed by `(variant, worlds, seed, storage,
+    /// kernel)`. The `OnceLock` indirection keeps the map lock off the
+    /// sampling path: concurrent campaigns needing *different* backends
+    /// sample in parallel, while campaigns needing the *same* one block on
+    /// its `OnceLock` and share the single sampled cache.
+    backends: Mutex<HashMap<String, Arc<OnceLock<Arc<McBackend>>>>>,
+    admission: Admission,
+    batcher: ProbeBatcher,
+    campaigns: AtomicU64,
+}
+
+/// One campaign's reply, split into deterministic payload and telemetry.
+#[derive(Clone, Debug)]
+pub struct CampaignReply {
+    /// CSV header of the one-row summary.
+    pub summary_header: String,
+    /// The summary row (deterministic — no wall-clock columns).
+    pub summary_row: String,
+    /// `node,seed,coupons` rows for every node that is a seed or holds
+    /// coupons, ascending by node id.
+    pub deploy_rows: Vec<String>,
+    /// `key=value` timing/counters line — the only nondeterministic part.
+    pub telemetry: String,
+}
+
+impl CampaignReply {
+    /// The byte-comparable payload: `SUMMARY`- and `DEPLOY`-prefixed lines.
+    /// Identical across serial, concurrent, and in-process runs of the same
+    /// spec; CI diffs these at tolerance zero.
+    pub fn deterministic_lines(&self) -> Vec<String> {
+        let mut lines = vec![
+            format!("SUMMARY {}", self.summary_header),
+            format!("SUMMARY {}", self.summary_row),
+        ];
+        lines.push("DEPLOY node,seed,coupons".to_string());
+        lines.extend(self.deploy_rows.iter().map(|r| format!("DEPLOY {r}")));
+        lines
+    }
+
+    /// Full wire reply, `OK … END` bracketed.
+    pub fn wire_lines(&self) -> Vec<String> {
+        let mut lines = vec![format!("OK rows={}", self.deploy_rows.len())];
+        lines.extend(self.deterministic_lines());
+        lines.push(format!("TELEMETRY {}", self.telemetry));
+        lines.push("END".to_string());
+        lines
+    }
+
+    /// Filter a wire reply (e.g. one read back by a client) down to the
+    /// deterministic payload.
+    pub fn deterministic_subset(lines: &[String]) -> Vec<String> {
+        lines
+            .iter()
+            .filter(|l| l.starts_with("SUMMARY ") || l.starts_with("DEPLOY"))
+            .cloned()
+            .collect()
+    }
+}
+
+impl ServeState {
+    /// Load `path` (SNAP text or `.oscg` binary) and stand up the resident
+    /// state with the given admission bound.
+    pub fn open(path: &Path, max_inflight: usize) -> Result<Self, String> {
+        let dataset = load_dataset(path, &s3crm_bench::Effort::quick())
+            .map_err(|e| format!("cannot load dataset {}: {e}", path.display()))?;
+        Ok(ServeState {
+            dataset: Arc::new(dataset),
+            variants: Mutex::new(HashMap::new()),
+            backends: Mutex::new(HashMap::new()),
+            admission: Admission::new(max_inflight),
+            batcher: ProbeBatcher::default(),
+            campaigns: AtomicU64::new(0),
+        })
+    }
+
+    /// The resident instance for a weight choice, building (and caching)
+    /// the re-weighted variant on first use.
+    pub fn variant(&self, weights: &WeightChoice) -> Arc<LoadedDataset> {
+        let model = match weights {
+            WeightChoice::Dataset => return self.dataset.clone(),
+            WeightChoice::Model(m) => *m,
+        };
+        let label = weights.label();
+        let mut variants = self.variants.lock().expect("variants lock");
+        variants
+            .entry(label.clone())
+            .or_insert_with(|| {
+                let base = &self.dataset;
+                let mut builder = GraphBuilder::new(base.graph.node_count());
+                for u in base.graph.nodes() {
+                    for (v, p) in base.graph.ranked_out(u) {
+                        builder
+                            .add_edge(u.0, v.0, p)
+                            .expect("copying a valid graph cannot fail");
+                    }
+                }
+                assign_weights(&mut builder, model, &mut seeded_rng(REWEIGHT_SEED));
+                let graph = builder.build().expect("re-weighted build");
+                Arc::new(LoadedDataset {
+                    name: format!("{}+{label}", base.name),
+                    graph,
+                    // Node attributes are weight-independent; keep them so
+                    // variants stay comparable to the base instance.
+                    data: base.data.clone(),
+                    budget: base.budget,
+                })
+            })
+            .clone()
+    }
+
+    fn backend_key(
+        variant: &str,
+        worlds: usize,
+        seed: u64,
+        storage: WorldStorage,
+        kernel: CascadeKernel,
+    ) -> String {
+        format!("{variant}|w{worlds}|s{seed}|{storage:?}|{kernel:?}")
+    }
+
+    /// The resident backend for `(variant, worlds, seed, storage, kernel)`,
+    /// sampling it on first use. Returns the key alongside so callers can
+    /// address the probe batcher consistently.
+    fn backend(
+        &self,
+        variant_label: &str,
+        ds: &LoadedDataset,
+        worlds: usize,
+        seed: u64,
+        storage: WorldStorage,
+        kernel: CascadeKernel,
+    ) -> (String, Arc<McBackend>) {
+        let key = Self::backend_key(variant_label, worlds, seed, storage, kernel);
+        let slot = {
+            let mut backends = self.backends.lock().expect("backends lock");
+            backends.entry(key.clone()).or_default().clone()
+        };
+        let backend = slot
+            .get_or_init(|| {
+                Arc::new(McBackend::sample_with(
+                    &ds.graph, worlds, seed, storage, kernel,
+                ))
+            })
+            .clone();
+        (key, backend)
+    }
+
+    /// Run one campaign end to end. Blocks on the admission gate while the
+    /// daemon is at capacity. The reply's deterministic lines depend only
+    /// on the spec and the dataset — never on what else is in flight.
+    pub fn run_campaign(&self, spec: &CampaignSpec) -> Result<CampaignReply, String> {
+        let _permit = self.admission.acquire();
+        let variant_label = spec.weights.label();
+        let ds = self.variant(&spec.weights);
+        let binv = ds.budget * spec.budget_mult;
+        let effort = spec.effort();
+
+        let t0 = Instant::now();
+        let (deployment, telemetry): (_, Option<Telemetry>) = match spec.algorithm {
+            // The S3CA variants go through the snapshot-backend seam so the
+            // line-24 re-ranking runs on a resident world cache instead of
+            // sampling one per request (bit-identical either way).
+            Algorithm::S3ca | Algorithm::S3caIdOnly => {
+                let mut cfg = if spec.algorithm == Algorithm::S3ca {
+                    effort.s3ca_config()
+                } else {
+                    effort.s3ca_id_only()
+                };
+                cfg.sketch_epsilon = spec.epsilon;
+                cfg.sketch_delta = spec.delta;
+                let (_, backend) = self.backend(
+                    &variant_label,
+                    &ds,
+                    cfg.snapshot_worlds,
+                    cfg.rng_seed,
+                    spec.world_storage,
+                    spec.cascade_kernel,
+                );
+                let r = s3ca_with_snapshot_backend(&ds.graph, &ds.data, binv, &cfg, Some(&backend));
+                (r.deployment, Some(r.telemetry))
+            }
+            other => {
+                let run =
+                    run_algorithm(&ds.graph, &ds.data, binv, other, spec.limited_cap, &effort);
+                (run.deployment, run.telemetry)
+            }
+        };
+
+        // Final evaluation on the resident eval backend, through the probe
+        // batcher so concurrent campaigns' evaluations share cache passes.
+        let (eval_key, eval_backend) = self.backend(
+            &variant_label,
+            &ds,
+            spec.eval_worlds,
+            spec.seed ^ EVAL_SALT,
+            spec.world_storage,
+            spec.cascade_kernel,
+        );
+        let stats = self.batcher.submit(
+            &eval_key,
+            &eval_backend,
+            &ds,
+            deployment.seeds.clone(),
+            deployment.coupons.clone(),
+        );
+        let report = RedemptionReport::from_stats(
+            &ds.graph,
+            &ds.data,
+            &deployment.seeds,
+            &deployment.coupons,
+            stats,
+        );
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        self.campaigns.fetch_add(1, Ordering::Relaxed);
+
+        let summary_header = "algorithm,binv,redemption_rate,expected_benefit,total_cost,\
+                              seed_cost,sc_cost,seeds,coupons,avg_farthest_hop,avg_activated"
+            .replace([' '], "");
+        let summary_row = format!(
+            "{},{binv},{},{},{},{},{},{},{},{},{}",
+            algorithm_token(spec.algorithm),
+            report.redemption_rate,
+            report.expected_benefit,
+            report.total_cost,
+            report.seed_cost,
+            report.sc_cost,
+            deployment.seeds.len(),
+            deployment.total_coupons(),
+            report.avg_farthest_hop,
+            report.avg_activated,
+        );
+        let mut is_seed = vec![false; ds.graph.node_count()];
+        for s in &deployment.seeds {
+            is_seed[s.index()] = true;
+        }
+        let deploy_rows: Vec<String> = (0..ds.graph.node_count())
+            .filter(|&v| is_seed[v] || deployment.coupons[v] > 0)
+            .map(|v| format!("{v},{},{}", u8::from(is_seed[v]), deployment.coupons[v]))
+            .collect();
+        // fig9-style per-phase telemetry rides along for S3CA campaigns.
+        let telemetry = match telemetry {
+            Some(t) => format!(
+                "wall_ms={wall_ms} id_micros={} gpi_micros={} scm_micros={} explored_ratio={} \
+                 world_cache_bytes={} lane_worlds={} scalar_worlds={}",
+                t.id_micros,
+                t.gpi_micros,
+                t.scm_micros,
+                t.explored_ratio,
+                t.world_cache_bytes,
+                t.lane_kernel_worlds,
+                t.scalar_kernel_worlds,
+            ),
+            None => format!("wall_ms={wall_ms}"),
+        };
+        Ok(CampaignReply {
+            summary_header,
+            summary_row,
+            deploy_rows,
+            telemetry,
+        })
+    }
+
+    /// Answer a `PROBE` request: one `STATS …` line.
+    pub fn probe(&self, spec: &ProbeSpec) -> Result<String, String> {
+        let variant_label = spec.weights.label();
+        let ds = self.variant(&spec.weights);
+        let n = ds.graph.node_count();
+        let mut coupons = vec![0u32; n];
+        for &(node, k) in &spec.coupons {
+            if node.index() >= n {
+                return Err(format!("coupon node {} outside graph of {n} nodes", node.0));
+            }
+            coupons[node.index()] = k;
+        }
+        if let Some(bad) = spec.seeds.iter().find(|s| s.index() >= n) {
+            return Err(format!("seed {} outside graph of {n} nodes", bad.0));
+        }
+        let (key, backend) = self.backend(
+            &variant_label,
+            &ds,
+            spec.worlds,
+            spec.seed ^ EVAL_SALT,
+            spec.world_storage,
+            spec.cascade_kernel,
+        );
+        let stats: SimulationStats =
+            self.batcher
+                .submit(&key, &backend, &ds, spec.seeds.clone(), coupons);
+        let cascade = stats.cascade.unwrap_or_default();
+        Ok(format!(
+            "STATS benefit={} activated={} redeemed_sc_cost={} farthest_hop={}",
+            stats.expected_benefit,
+            stats.mean_activated,
+            cascade.mean_redeemed_sc_cost,
+            cascade.mean_farthest_hop,
+        ))
+    }
+
+    /// `key=value` lines answering an `INFO` request.
+    pub fn info_lines(&self) -> Vec<String> {
+        let backends = self.backends.lock().expect("backends lock");
+        let mut resident_bytes = 0usize;
+        let mut decoded_blocks = 0usize;
+        let mut sampled = 0usize;
+        for slot in backends.values() {
+            if let Some(b) = slot.get() {
+                sampled += 1;
+                resident_bytes +=
+                    b.cache().resident_bytes() as usize + b.lane_store().resident_bytes();
+                decoded_blocks += b.lane_store().decoded_blocks();
+            }
+        }
+        let (probes, batches) = self.batcher.counters();
+        vec![
+            format!("dataset={}", self.dataset.name),
+            format!("nodes={}", self.dataset.graph.node_count()),
+            format!("edges={}", self.dataset.graph.edge_count()),
+            format!("base_budget={}", self.dataset.budget),
+            format!(
+                "variants={}",
+                self.variants.lock().expect("variants lock").len()
+            ),
+            format!("backends={sampled}"),
+            format!("resident_bytes={resident_bytes}"),
+            format!("decoded_lane_blocks={decoded_blocks}"),
+            format!("inflight={}", self.admission.in_flight()),
+            format!("inflight_cap={}", self.admission.capacity()),
+            format!(
+                "campaigns_served={}",
+                self.campaigns.load(Ordering::Relaxed)
+            ),
+            format!("probes={probes}"),
+            format!("probe_batches={batches}"),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn fixture() -> PathBuf {
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../bench/fixtures/smoke_snap.txt")
+    }
+
+    #[test]
+    fn identical_specs_reuse_one_resident_backend() {
+        let state = ServeState::open(&fixture(), 4).expect("open");
+        let spec = CampaignSpec::default();
+        let a = state.run_campaign(&spec).expect("first campaign");
+        let b = state.run_campaign(&spec).expect("second campaign");
+        assert_eq!(a.deterministic_lines(), b.deterministic_lines());
+        let backends: Vec<String> = state.info_lines();
+        // One snapshot backend + one eval backend, not four.
+        assert!(
+            backends.contains(&"backends=2".to_string()),
+            "expected 2 resident backends, info: {backends:?}"
+        );
+        assert!(backends.contains(&"campaigns_served=2".to_string()));
+    }
+
+    #[test]
+    fn mixed_kernel_campaigns_report_identical_deployments() {
+        // Kernel and storage are execution/representation choices only; two
+        // campaigns differing in nothing else must reply byte-identically.
+        let state = ServeState::open(&fixture(), 4).expect("open");
+        let lane = CampaignSpec {
+            cascade_kernel: CascadeKernel::Lane,
+            world_storage: WorldStorage::Sparse,
+            ..CampaignSpec::default()
+        };
+        let scalar = CampaignSpec {
+            cascade_kernel: CascadeKernel::Scalar,
+            world_storage: WorldStorage::Dense,
+            ..CampaignSpec::default()
+        };
+        let a = state.run_campaign(&lane).expect("lane campaign");
+        let b = state.run_campaign(&scalar).expect("scalar campaign");
+        assert_eq!(a.deterministic_lines(), b.deterministic_lines());
+    }
+
+    #[test]
+    fn reweighted_variants_are_cached_and_differ_from_the_dataset() {
+        let state = ServeState::open(&fixture(), 2).expect("open");
+        let uniform = WeightChoice::Model(osn_gen::weights::WeightModel::Uniform(0.05));
+        let v1 = state.variant(&uniform);
+        let v2 = state.variant(&uniform);
+        assert!(Arc::ptr_eq(&v1, &v2), "variant rebuilt instead of cached");
+        assert_eq!(v1.graph.node_count(), state.dataset.graph.node_count());
+        assert_eq!(v1.graph.edge_count(), state.dataset.graph.edge_count());
+        let base = state.variant(&WeightChoice::Dataset);
+        assert!(Arc::ptr_eq(&base, &state.dataset));
+    }
+
+    #[test]
+    fn probe_matches_campaign_evaluation_backend() {
+        let state = ServeState::open(&fixture(), 2).expect("open");
+        let line = state
+            .probe(&ProbeSpec::parse("worlds=32 seed=5 seeds=0;1 coupons=2:1").unwrap())
+            .expect("probe");
+        assert!(line.starts_with("STATS benefit="), "{line}");
+        assert!(
+            state
+                .probe(&ProbeSpec::parse("seeds=4096").unwrap())
+                .is_err(),
+            "out-of-range seed must be rejected"
+        );
+    }
+}

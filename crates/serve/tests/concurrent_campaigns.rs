@@ -1,0 +1,140 @@
+//! End-to-end daemon test: concurrent campaigns over TCP must be
+//! byte-identical to the serial in-process reference — the contract the CI
+//! load-generator smoke job enforces at scale.
+
+use s3crm_serve::{server, CampaignReply, CampaignSpec, Client, ServeState};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+fn fixture() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../bench/fixtures/smoke_snap.txt")
+}
+
+/// A small mixed spec set: kernels, storages, algorithms, and budgets all
+/// vary, so distinct configurations are genuinely in flight at once.
+fn specs() -> Vec<CampaignSpec> {
+    use osn_propagation::{CascadeKernel, WorldStorage};
+    use s3crm_bench::Algorithm;
+    let algorithms = [Algorithm::S3ca, Algorithm::ImU, Algorithm::PmL];
+    (0..9)
+        .map(|i| CampaignSpec {
+            algorithm: algorithms[i % algorithms.len()],
+            budget_mult: [1.0, 0.5, 2.0][i % 3],
+            cascade_kernel: if i % 2 == 0 {
+                CascadeKernel::Lane
+            } else {
+                CascadeKernel::Scalar
+            },
+            world_storage: if (i / 2) % 2 == 0 {
+                WorldStorage::Sparse
+            } else {
+                WorldStorage::Dense
+            },
+            ..CampaignSpec::default()
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_mixed_campaigns_match_the_serial_reference_byte_for_byte() {
+    // The serial reference runs in a fresh state — no sharing whatsoever
+    // with the daemon under test.
+    let reference = ServeState::open(&fixture(), 1).expect("reference state");
+    let expected: Vec<Vec<String>> = specs()
+        .iter()
+        .map(|s| {
+            reference
+                .run_campaign(s)
+                .expect("serial campaign")
+                .deterministic_lines()
+        })
+        .collect();
+
+    let state = Arc::new(ServeState::open(&fixture(), 4).expect("daemon state"));
+    let srv = server::spawn(state, "127.0.0.1:0").expect("bind ephemeral port");
+    let addr = srv.addr();
+
+    // Two full client rounds over the spec set (18 concurrent campaigns):
+    // the second round hits the resident backends the first one sampled.
+    for round in 0..2 {
+        std::thread::scope(|s| {
+            for (i, spec) in specs().into_iter().enumerate() {
+                let expected = &expected[i];
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let got = client
+                        .campaign(&spec)
+                        .expect("transport")
+                        .expect("campaign accepted");
+                    assert_eq!(
+                        &got, expected,
+                        "round {round} campaign {i} diverged from the serial reference"
+                    );
+                });
+            }
+        });
+    }
+
+    // Identical requests from many threads must all agree with each other.
+    let identical = CampaignSpec::default();
+    let replies: Vec<Vec<String>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..6)
+            .map(|_| {
+                let spec = identical;
+                s.spawn(move || {
+                    Client::connect(addr)
+                        .expect("connect")
+                        .campaign(&spec)
+                        .expect("transport")
+                        .expect("campaign accepted")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for r in &replies[1..] {
+        assert_eq!(r, &replies[0], "identical concurrent campaigns diverged");
+    }
+
+    let mut client = Client::connect(addr).expect("connect");
+    assert!(client.ping().expect("ping"));
+    let info = client.request("INFO").expect("info");
+    assert_eq!(info.first().map(String::as_str), Some("OK"));
+    assert!(info.iter().any(|l| l.starts_with("campaigns_served=")));
+    assert!(
+        client.shutdown().expect("shutdown request"),
+        "daemon did not acknowledge shutdown"
+    );
+    srv.wait();
+}
+
+#[test]
+fn malformed_requests_get_err_replies_not_disconnects() {
+    let state = Arc::new(ServeState::open(&fixture(), 2).expect("state"));
+    let srv = server::spawn(state, "127.0.0.1:0").expect("bind");
+    let mut client = Client::connect(srv.addr()).expect("connect");
+    let reply = client.request("CAMPAIGN algo=warp-drive").expect("reply");
+    assert!(reply[0].starts_with("ERR "), "{reply:?}");
+    let reply = client.request("FROBNICATE").expect("reply");
+    assert!(reply[0].starts_with("ERR "), "{reply:?}");
+    // The connection survives malformed requests.
+    assert!(client.ping().expect("ping after errors"));
+    client.shutdown().expect("shutdown");
+    srv.wait();
+}
+
+#[test]
+fn wire_reply_round_trips_the_deterministic_payload() {
+    let state = ServeState::open(&fixture(), 1).expect("state");
+    let reply = state
+        .run_campaign(&CampaignSpec::default())
+        .expect("campaign");
+    let wire = reply.wire_lines();
+    assert!(wire[0].starts_with("OK rows="));
+    assert_eq!(wire.last().map(String::as_str), Some("END"));
+    assert_eq!(
+        CampaignReply::deterministic_subset(&wire),
+        reply.deterministic_lines(),
+        "wire framing altered the deterministic payload"
+    );
+}

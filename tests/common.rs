@@ -3,6 +3,48 @@
 use osn_graph::{CsrGraph, GraphBuilder, NodeData, NodeId};
 use osn_propagation::SimulationStats;
 use s3crm_core::Deployment;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A per-test scratch directory that removes itself (and everything in it)
+/// when dropped — including on assertion failure, which a trailing
+/// `std::fs::remove_file(..).ok()` after the asserts never reaches.
+///
+/// Directories live under [`std::env::temp_dir`] and embed the process id
+/// plus a process-wide counter, so parallel test binaries and parallel
+/// tests within one binary never collide.
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Create a fresh directory tagged `tag` (used in the directory name to
+    /// make leftovers attributable if a crash outruns `Drop`).
+    pub fn new(tag: &str) -> Self {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path =
+            std::env::temp_dir().join(format!("s3crm-test-{tag}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        TempDir { path }
+    }
+
+    /// The directory itself.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// A path for `name` inside the directory (not created).
+    pub fn file(&self, name: &str) -> PathBuf {
+        self.path.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.path).ok();
+    }
+}
 
 /// Assemble a deployment from a seed list and sparse `(node, k)` pairs.
 pub fn deployment(n: usize, seeds: &[u32], coupons: &[(u32, u32)]) -> Deployment {

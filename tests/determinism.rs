@@ -186,6 +186,7 @@ fn baseline_selections_are_pool_size_independent() {
         CouponStrategy::Limited(2),
         &im_ref,
         &cache,
+        osn_propagation::CascadeKernel::default(),
         &reference_pool,
     );
     let pm_ref = pm_with_strategy_on(
@@ -209,6 +210,7 @@ fn baseline_selections_are_pool_size_independent() {
             CouponStrategy::Limited(2),
             &im,
             &cache,
+            osn_propagation::CascadeKernel::default(),
             &pool,
         );
         assert_eq!(
