@@ -8,6 +8,9 @@
 //! cargo run -p s3crm-bench --release --bin repro -- --cache .oscg-cache fig6
 //! cargo run -p s3crm-bench --release --bin repro -- --data soc-Epinions1.txt data
 //! cargo run -p s3crm-bench --release --bin repro -- convert edges.txt edges.oscg
+//! cargo run -p s3crm-bench --release --bin repro -- convert --shards 4 edges.txt edges.oscg
+//! cargo run -p s3crm-bench --release --bin repro -- sniff edges.oscg
+//! cargo run -p s3crm-bench --release --bin repro -- bench shard_cascade --nodes 1000000
 //! cargo run -p s3crm-bench --release --bin repro -- --estimator sketch fig9
 //! cargo run -p s3crm-bench --release --bin repro -- csvdiff a.csv b.csv 0.05
 //! ```
@@ -125,12 +128,26 @@ fn parse_args() -> Args {
                      [--estimator mc|sketch] [--out DIR] \
                      [--cache DIR] [--data PATH] \
                      [fig6 fig7 fig8 fig9 fig10 table3 table4 ablation extensions data]...\n\
-                     \x20      repro convert INPUT OUTPUT   # re-encode a dataset as .oscg\n\
+                     \x20      repro convert [--shards N | --shard-mb M] INPUT OUTPUT\n\
+                     \x20                                   # re-encode a dataset as .oscg (v2 when sharded)\n\
+                     \x20      repro sniff FILE             # print an .oscg header / shard table\n\
+                     \x20      repro bench shard_cascade    # out-of-core trajectory benchmark\n\
                      \x20      repro csvdiff A B TOL        # compare two CSVs (relative tolerance)"
                 );
                 std::process::exit(0);
             }
-            other => artifacts.push(other.to_string()),
+            other => {
+                artifacts.push(other.to_string());
+                // Subcommands own the rest of the command line: their flags
+                // (e.g. `bench … --seed`, `convert … --shards`) must not be
+                // eaten by the global parser above.
+                if artifacts.len() == 1
+                    && matches!(other, "convert" | "sniff" | "bench" | "csvdiff")
+                {
+                    artifacts.extend(it.by_ref());
+                    break;
+                }
+            }
         }
     }
     if artifacts.is_empty() {
@@ -278,16 +295,53 @@ fn run_csvdiff(paths: &[String]) -> ! {
     std::process::exit(1);
 }
 
-/// `repro convert INPUT OUTPUT` — runs before the experiment loop.
-fn run_convert(paths: &[String]) -> ! {
-    let [input, output] = paths else {
-        eprintln!("usage: repro convert INPUT OUTPUT");
+/// `repro convert [--shards N | --shard-mb M] INPUT OUTPUT` — runs before
+/// the experiment loop. Without a shard flag the output is the monolithic
+/// v1 layout; with one it is the partitioned v2 layout.
+fn run_convert(args: &[String]) -> ! {
+    let usage = || -> ! {
+        eprintln!("usage: repro convert [--shards N | --shard-mb M] INPUT OUTPUT");
         std::process::exit(2);
     };
-    match dataset::convert(std::path::Path::new(input), std::path::Path::new(output)) {
-        Ok(()) => {
+    let mut spec: Option<dataset::ShardSpec> = None;
+    let mut paths: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--shards" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                let count = v.parse().ok().filter(|&c| c >= 1).unwrap_or_else(|| {
+                    eprintln!("convert: --shards must be a positive integer, got {v:?}");
+                    std::process::exit(2);
+                });
+                spec = Some(dataset::ShardSpec::Count(count));
+            }
+            "--shard-mb" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                let mb = v.parse().ok().filter(|&m| m >= 1).unwrap_or_else(|| {
+                    eprintln!("convert: --shard-mb must be a positive integer, got {v:?}");
+                    std::process::exit(2);
+                });
+                spec = Some(dataset::ShardSpec::PayloadMb(mb));
+            }
+            _ => paths.push(arg),
+        }
+    }
+    let [input, output] = paths[..] else { usage() };
+    let (input_p, output_p) = (std::path::Path::new(input), std::path::Path::new(output));
+    let result = match spec {
+        None => dataset::convert(input_p, output_p).map(|()| None),
+        Some(spec) => dataset::convert_sharded(input_p, output_p, spec).map(Some),
+    };
+    match result {
+        Ok(shards) => {
             let size = std::fs::metadata(output).map(|m| m.len()).unwrap_or(0);
-            println!("converted {input} -> {output} ({size} bytes)");
+            match shards {
+                None => println!("converted {input} -> {output} ({size} bytes, monolithic v1)"),
+                Some(s) => {
+                    println!("converted {input} -> {output} ({size} bytes, {s} shards, v2)")
+                }
+            }
             std::process::exit(0);
         }
         Err(e) => {
@@ -295,6 +349,215 @@ fn run_convert(paths: &[String]) -> ! {
             std::process::exit(1);
         }
     }
+}
+
+/// `repro sniff FILE` — print an `.oscg` file's header, and for partitioned
+/// (v2) files the full shard table. Opening a v2 file validates every
+/// shard checksum, so a clean sniff doubles as an integrity check.
+fn run_sniff(paths: &[String]) -> ! {
+    let [path] = paths else {
+        eprintln!("usage: repro sniff FILE");
+        std::process::exit(2);
+    };
+    let p = std::path::Path::new(path);
+    let version = match osn_graph::binary::sniff_oscg_version(p) {
+        Ok(Some(v)) => v,
+        Ok(None) => {
+            eprintln!("sniff: {path} is not an .oscg file");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("sniff: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let size = std::fs::metadata(p).map(|m| m.len()).unwrap_or(0);
+    match version {
+        2 => match osn_graph::ShardedOscg::open(p) {
+            Ok(file) => {
+                println!(
+                    "{path}: .oscg v2 (partitioned), {} nodes, {} edges, {} shards, \
+                     {size} bytes, workload {}",
+                    file.node_count(),
+                    file.edge_count(),
+                    file.shard_count(),
+                    if file.workload().is_some() {
+                        "present"
+                    } else {
+                        "absent"
+                    },
+                );
+                println!(
+                    "{:>5}  {:>22}  {:>11}  {:>11}  {:>12}  {:>16}",
+                    "shard", "nodes", "fwd_edges", "rev_edges", "bytes", "checksum"
+                );
+                for (s, info) in file.table().iter().enumerate() {
+                    println!(
+                        "{s:>5}  [{:>9}, {:>9})  {:>11}  {:>11}  {:>12}  {:016x}",
+                        info.node_start,
+                        info.node_end,
+                        info.fwd_edges,
+                        info.rev_edges,
+                        info.byte_len,
+                        info.checksum,
+                    );
+                }
+                println!("all shard checksums verified");
+                std::process::exit(0);
+            }
+            Err(e) => {
+                eprintln!("sniff: {path} is a v2 .oscg but failed validation: {e}");
+                std::process::exit(1);
+            }
+        },
+        1 => match osn_graph::binary::load_oscg(p) {
+            Ok(file) => {
+                println!(
+                    "{path}: .oscg v1 (monolithic), {} nodes, {} edges, {size} bytes, \
+                     workload {}",
+                    file.graph.node_count(),
+                    file.graph.edge_count(),
+                    if file.workload.is_some() {
+                        "present"
+                    } else {
+                        "absent"
+                    },
+                );
+                std::process::exit(0);
+            }
+            Err(e) => {
+                eprintln!("sniff: {path} is a v1 .oscg but failed validation: {e}");
+                std::process::exit(1);
+            }
+        },
+        v => {
+            eprintln!("sniff: {path} declares unsupported .oscg version {v}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `repro bench shard_cascade [...]` — the out-of-core trajectory
+/// benchmark: stream-generate a sharded graph, open it under a residency
+/// budget, run the degree-greedy budgeted ID pass on the shard-local
+/// kernel, and append the measured point to the trajectory file.
+fn run_bench(args: &[String]) -> ! {
+    let usage = || -> ! {
+        eprintln!(
+            "usage: repro bench shard_cascade [--nodes N] [--edges-per-node M] \
+             [--shards S] [--resident-mb MB] [--worlds W] [--coupons K] \
+             [--seeds-cap C] [--seed SEED] [--file PATH] [--keep] \
+             [--json PATH|none] [--max-rss-mb MB]"
+        );
+        std::process::exit(2);
+    };
+    let Some((name, rest)) = args.split_first() else {
+        usage()
+    };
+    if name != "shard_cascade" {
+        eprintln!("bench: unknown benchmark {name:?} (only shard_cascade exists)");
+        usage();
+    }
+    let mut cfg = s3crm_bench::shard_bench::ShardBenchConfig::default();
+    let mut json: Option<PathBuf> = Some(PathBuf::from("BENCH_TRAJECTORY.json"));
+    let mut max_rss_mb: Option<u64> = None;
+    let mut it = rest.iter();
+    let parse = |flag: &str, v: Option<&String>| -> u64 {
+        v.and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+            eprintln!("bench: {flag} needs a positive integer");
+            std::process::exit(2);
+        })
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--nodes" => cfg.nodes = parse("--nodes", it.next()) as usize,
+            "--edges-per-node" => {
+                cfg.edges_per_node = parse("--edges-per-node", it.next()) as usize
+            }
+            "--shards" => cfg.shards = parse("--shards", it.next()) as usize,
+            "--resident-mb" => cfg.resident_mb = parse("--resident-mb", it.next()) as usize,
+            "--worlds" => cfg.worlds = parse("--worlds", it.next()) as usize,
+            "--coupons" => cfg.coupons_per_node = parse("--coupons", it.next()) as u32,
+            "--seeds-cap" => cfg.seeds_cap = parse("--seeds-cap", it.next()) as usize,
+            "--seed" => cfg.seed = parse("--seed", it.next()),
+            "--file" => {
+                cfg.file = PathBuf::from(it.next().unwrap_or_else(|| usage()));
+            }
+            "--keep" => cfg.keep = true,
+            "--json" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                json = (v != "none").then(|| PathBuf::from(v));
+            }
+            "--max-rss-mb" => max_rss_mb = Some(parse("--max-rss-mb", it.next())),
+            _ => usage(),
+        }
+    }
+    println!(
+        "# bench shard_cascade: {} nodes x {} edges/node, {} shards, \
+         {} MiB residency, {} worlds, seed {}",
+        cfg.nodes, cfg.edges_per_node, cfg.shards, cfg.resident_mb, cfg.worlds, cfg.seed
+    );
+    let point = match s3crm_bench::shard_bench::run(&cfg) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("bench shard_cascade failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "generated {} directed edges into {} bytes ({} shards) in {:.1}s \
+         (generator peak RSS {:.1} MiB)",
+        point.directed_edges,
+        point.file_bytes,
+        point.shards,
+        point.gen_secs,
+        point.gen_peak_rss_bytes as f64 / (1 << 20) as f64,
+    );
+    println!(
+        "opened + validated in {:.1}s; ID pass ({} seeds, {} funded nodes, \
+         {} worlds) in {:.1}s: mean benefit {:.3}, mean activated {:.1}",
+        point.open_secs,
+        point.seeds,
+        point.funded_nodes,
+        point.worlds,
+        point.id_secs,
+        point.mean_benefit,
+        point.mean_activated,
+    );
+    println!(
+        "peak RSS {:.1} MiB = {:.1}% of the {:.1} MiB file \
+         ({} shard loads, {} evictions, max {} resident)",
+        point.peak_rss_bytes as f64 / (1 << 20) as f64,
+        point.rss_to_file_ratio * 100.0,
+        point.file_bytes as f64 / (1 << 20) as f64,
+        point.shard_loads,
+        point.shard_evictions,
+        point.max_resident_shards,
+    );
+    if let Some(path) = json {
+        let unix_secs = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        match s3crm_bench::shard_bench::append_trajectory_point(&path, &point.to_json(unix_secs)) {
+            Ok(()) => println!("trajectory point appended to {}", path.display()),
+            Err(e) => {
+                eprintln!("could not append to {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(cap) = max_rss_mb {
+        if point.peak_rss_bytes > cap * (1 << 20) {
+            eprintln!(
+                "peak RSS {} bytes exceeds the --max-rss-mb {cap} bound",
+                point.peak_rss_bytes
+            );
+            std::process::exit(1);
+        }
+        println!("peak RSS within the {cap} MiB bound");
+    }
+    std::process::exit(0);
 }
 
 fn emit(table: Table, out_dir: &std::path::Path, name: &str) {
@@ -308,6 +571,12 @@ fn main() {
     let args = parse_args();
     if args.artifacts.first().map(String::as_str) == Some("convert") {
         run_convert(&args.artifacts[1..]);
+    }
+    if args.artifacts.first().map(String::as_str) == Some("sniff") {
+        run_sniff(&args.artifacts[1..]);
+    }
+    if args.artifacts.first().map(String::as_str) == Some("bench") {
+        run_bench(&args.artifacts[1..]);
     }
     if args.artifacts.first().map(String::as_str) == Some("csvdiff") {
         run_csvdiff(&args.artifacts[1..]);

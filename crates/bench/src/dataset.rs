@@ -12,6 +12,7 @@ use osn_gen::attrs::standard_workload;
 use osn_gen::profiles::GeneratedInstance;
 use osn_gen::weights::{assign_weights, WeightModel};
 use osn_gen::{seeded_rng, DatasetProfile};
+use osn_graph::shard::{write_sharded_oscg_atomic, ShardPlan};
 use osn_graph::{binary, io, CsrGraph, GraphError, NodeData};
 use std::path::{Path, PathBuf};
 use std::sync::OnceLock;
@@ -112,6 +113,20 @@ pub fn load_dataset(path: &Path, effort: &Effort) -> Result<LoadedDataset, Graph
         .and_then(|s| s.to_str())
         .unwrap_or("dataset")
         .to_string();
+    instance_from_parts(name, graph, stored, effort)
+}
+
+/// Shape an already-loaded graph (plus its optional stored workload) into a
+/// [`LoadedDataset`], synthesizing the deterministic default workload where
+/// the file carries none — the exact policy of [`load_dataset`], exposed
+/// for callers that open the file themselves (e.g. `osn-serve` keeping a
+/// [`osn_graph::ShardedOscg`] handle for residency accounting).
+pub fn instance_from_parts(
+    name: String,
+    graph: CsrGraph,
+    stored: Option<binary::Workload>,
+    effort: &Effort,
+) -> Result<LoadedDataset, GraphError> {
     let (data, budget) = match stored {
         Some(w) => (w.data, w.budget),
         None => {
@@ -152,6 +167,35 @@ pub fn convert(input: &Path, output: &Path) -> Result<(), GraphError> {
         &graph,
         workload.as_ref().map(|w| (&w.data, w.budget)),
     )
+}
+
+/// How `repro convert --shards N` / `--shard-mb M` picks shard boundaries.
+#[derive(Clone, Copy, Debug)]
+pub enum ShardSpec {
+    /// Split into (up to) this many incident-edge-balanced shards.
+    Count(usize),
+    /// Cap each shard's on-disk payload at this many MiB.
+    PayloadMb(u64),
+}
+
+/// [`convert`], but emitting the partitioned v2 layout. Returns the shard
+/// count actually written (a balanced plan never produces empty shards, so
+/// tiny graphs may get fewer than requested).
+pub fn convert_sharded(input: &Path, output: &Path, spec: ShardSpec) -> Result<usize, GraphError> {
+    let (graph, workload) = load_graph(input)?;
+    let plan = match spec {
+        ShardSpec::Count(s) => ShardPlan::balanced(graph.out_offsets(), graph.in_offsets(), s),
+        ShardSpec::PayloadMb(mb) => {
+            ShardPlan::by_payload_bytes(graph.out_offsets(), graph.in_offsets(), mb << 20)
+        }
+    };
+    write_sharded_oscg_atomic(
+        output,
+        &graph,
+        workload.as_ref().map(|w| (&w.data, w.budget)),
+        &plan,
+    )?;
+    Ok(plan.shard_count())
 }
 
 #[cfg(test)]
@@ -208,6 +252,38 @@ mod tests {
         let (from_text, _) = load_graph(&text).unwrap();
         let (from_bin, _) = load_graph(&bin).unwrap();
         assert_eq!(from_text, from_bin);
+    }
+
+    #[test]
+    fn sharded_convert_loads_identically_to_monolithic() {
+        let dir = TempDir::new("convert-sharded");
+        let text = dir.file("src.txt");
+        let mono = dir.file("mono.oscg");
+        let sharded = dir.file("sharded.oscg");
+        std::fs::write(&text, "0 1\n1 2\n2 3\n3 0\n1 3\n0 2\n").unwrap();
+        convert(&text, &mono).unwrap();
+        let written = convert_sharded(&text, &sharded, ShardSpec::Count(2)).unwrap();
+        assert_eq!(written, 2);
+        let effort = Effort::micro();
+        let a = load_dataset(&mono, &effort).unwrap();
+        let b = load_dataset(&sharded, &effort).unwrap();
+        // Same graph and instance either way; the sharded load additionally
+        // carries the file's shard plan for the shard-local kernels.
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.data, b.data);
+        assert_eq!(a.budget.to_bits(), b.budget.to_bits());
+        assert!(a.graph.shard_plan().is_none());
+        assert_eq!(
+            b.graph.shard_plan().map(|p| p.shard_count()),
+            Some(2),
+            "v2 load must attach the plan"
+        );
+        // A payload cap of 1 MiB comfortably holds this whole graph.
+        let one = dir.file("one.oscg");
+        assert_eq!(
+            convert_sharded(&text, &one, ShardSpec::PayloadMb(1)).unwrap(),
+            1
+        );
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub mod effort;
 pub mod experiments;
 pub mod runner;
 pub mod scenario;
+pub mod shard_bench;
 pub mod table;
 
 pub use effort::Effort;

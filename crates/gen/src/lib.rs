@@ -21,6 +21,10 @@
 //!   regenerating it;
 //! * [`fixtures`] — the exact worked-example instances of the paper (Fig. 1
 //!   and Example 1) used by the integration tests;
+//! * [`stream`] — the out-of-core twin of [`powerlaw_cluster`]: Holme–Kim
+//!   generation streamed straight into a sharded (v2) `.oscg` file with
+//!   O(N)-bounded memory (Fenwick-tree preferential attachment, neighbor
+//!   reservoirs, disk-scattered shard builds);
 //! * [`weights`] — influence-probability models (`P(e(i,j)) = 1/in-degree`,
 //!   the paper's default, plus uniform and trivalency);
 //! * [`attrs`] — benefit/cost workload models (normal benefit,
@@ -39,6 +43,7 @@ pub mod erdos_renyi;
 pub mod fixtures;
 pub mod powerlaw_cluster;
 pub mod profiles;
+pub mod stream;
 pub mod topology;
 pub mod watts_strogatz;
 pub mod weights;

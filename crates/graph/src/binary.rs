@@ -526,9 +526,11 @@ fn validate_transpose(
 
 /// Every structural check a decoded file must pass, in one place so the
 /// owned and mmap read paths cannot diverge: per-direction adjacency
-/// invariants plus the forward/reverse transpose bijection.
+/// invariants plus the forward/reverse transpose bijection. Also the final
+/// gate for sharded (v2) files once [`crate::shard`] assembles the
+/// monolithic view.
 #[allow(clippy::too_many_arguments)]
-fn validate_sections(
+pub(crate) fn validate_sections(
     n: u64,
     m: u64,
     offsets: &[u64],
@@ -586,7 +588,14 @@ fn read_ids(bytes: &[u8], offset: usize, count: usize) -> Vec<NodeId> {
 }
 
 /// Decode `.oscg` bytes into owned sections (the explicit-read path).
+///
+/// Handles both layouts: version 1 decodes directly; a version-2
+/// (partitioned, [`crate::shard`]) frame is opened shard by shard and
+/// assembled into the monolithic view with its shard plan attached.
 pub fn from_bytes(bytes: &[u8]) -> Result<OscgFile, GraphError> {
+    if peek_version(bytes) == Some(crate::shard::VERSION_SHARDED) {
+        return crate::shard::ShardedOscg::from_owned_bytes(bytes.to_vec())?.to_oscg_file();
+    }
     let (header, layout) = check_frame(bytes)?;
     let (n, m) = (header.n, header.m);
 
@@ -634,13 +643,24 @@ fn decode_workload(
     let Some(off) = layout.workload else {
         return Ok(None);
     };
+    Ok(Some(decode_workload_at(bytes, off, n)?))
+}
+
+/// Decode a workload block starting at byte `off` (budget then the three
+/// per-node attribute arrays). Shared with the sharded (v2) reader, whose
+/// workload block is byte-identical to v1's.
+pub(crate) fn decode_workload_at(
+    bytes: &[u8],
+    off: usize,
+    n: usize,
+) -> Result<Workload, GraphError> {
     let budget = f64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
-    Ok(Some(workload_from_parts(
+    workload_from_parts(
         budget,
         read_f64s(bytes, off + 8, n),
         read_f64s(bytes, off + 8 + 8 * n, n),
         read_f64s(bytes, off + 8 + 16 * n, n),
-    )?))
+    )
 }
 
 /// Decode `.oscg` from any reader via the explicit-read path.
@@ -674,22 +694,22 @@ pub fn map_oscg(path: &Path) -> Result<Option<OscgFile>, GraphError> {
     let (header, layout) = check_frame(map.bytes())?;
     let (n, m) = (header.n, header.m);
 
-    let section_err = |section: &'static str| GraphError::CorruptSection {
-        section,
-        detail: "section window is out of bounds or misaligned".into(),
-    };
-    let offsets = Section::<u64>::mapped(Arc::clone(&map), layout.offsets, n as usize + 1)
-        .ok_or_else(|| section_err("offsets"))?;
-    let targets = Section::<NodeId>::mapped(Arc::clone(&map), layout.targets, m as usize)
-        .ok_or_else(|| section_err("targets"))?;
-    let probs = Section::<f64>::mapped(Arc::clone(&map), layout.probs, m as usize)
-        .ok_or_else(|| section_err("probs"))?;
-    let in_offsets = Section::<u64>::mapped(Arc::clone(&map), layout.in_offsets, n as usize + 1)
-        .ok_or_else(|| section_err("in_offsets"))?;
-    let in_sources = Section::<NodeId>::mapped(Arc::clone(&map), layout.in_sources, m as usize)
-        .ok_or_else(|| section_err("in_sources"))?;
-    let in_probs = Section::<f64>::mapped(Arc::clone(&map), layout.in_probs, m as usize)
-        .ok_or_else(|| section_err("in_probs"))?;
+    let offsets = Section::<u64>::map(Arc::clone(&map), layout.offsets, n as usize + 1, "offsets")?;
+    let targets = Section::<NodeId>::map(Arc::clone(&map), layout.targets, m as usize, "targets")?;
+    let probs = Section::<f64>::map(Arc::clone(&map), layout.probs, m as usize, "probs")?;
+    let in_offsets = Section::<u64>::map(
+        Arc::clone(&map),
+        layout.in_offsets,
+        n as usize + 1,
+        "in_offsets",
+    )?;
+    let in_sources = Section::<NodeId>::map(
+        Arc::clone(&map),
+        layout.in_sources,
+        m as usize,
+        "in_sources",
+    )?;
+    let in_probs = Section::<f64>::map(Arc::clone(&map), layout.in_probs, m as usize, "in_probs")?;
 
     validate_sections(
         n,
@@ -716,7 +736,15 @@ pub fn map_oscg(path: &Path) -> Result<Option<OscgFile>, GraphError> {
 /// Load an `.oscg` file: memory-mapped and zero-copy where the platform
 /// allows, explicit reads otherwise. Corrupt files fail identically on
 /// both paths.
+///
+/// Partitioned (version 2) files route through [`crate::shard`] and come
+/// back as the assembled monolithic view with their shard plan attached —
+/// callers that want shard-at-a-time residency open
+/// [`crate::shard::ShardedOscg`] directly instead.
 pub fn load_oscg(path: &Path) -> Result<OscgFile, GraphError> {
+    if sniff_oscg_version(path)? == Some(crate::shard::VERSION_SHARDED) {
+        return crate::shard::ShardedOscg::open(path)?.to_oscg_file();
+    }
     if let Some(loaded) = map_oscg(path)? {
         return Ok(loaded);
     }
@@ -728,11 +756,28 @@ pub fn load_oscg(path: &Path) -> Result<OscgFile, GraphError> {
 /// Used by dataset auto-detection (`repro --data`) to route a path to the
 /// binary loader or the plain-text edge-list parser.
 pub fn sniff_is_oscg(path: &Path) -> std::io::Result<bool> {
+    Ok(sniff_oscg_version(path)?.is_some())
+}
+
+/// The declared format version of the first six bytes of a slice carrying
+/// the `.oscg` magic, `None` otherwise.
+fn peek_version(bytes: &[u8]) -> Option<u16> {
+    if bytes.len() < 6 || bytes[0..4] != MAGIC {
+        return None;
+    }
+    Some(u16::from_le_bytes(bytes[4..6].try_into().unwrap()))
+}
+
+/// Peek at a file's header: `Some(version)` when it carries the `.oscg`
+/// magic, `None` otherwise. This is how loaders route between the
+/// monolithic (v1) and partitioned (v2, [`crate::shard`]) layouts without
+/// reading past the header.
+pub fn sniff_oscg_version(path: &Path) -> std::io::Result<Option<u16>> {
     let mut file = std::fs::File::open(path)?;
-    let mut magic = [0u8; 4];
-    match file.read_exact(&mut magic) {
-        Ok(()) => Ok(magic == MAGIC),
-        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => Ok(false),
+    let mut head = [0u8; 6];
+    match file.read_exact(&mut head) {
+        Ok(()) => Ok(peek_version(&head)),
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => Ok(None),
         Err(e) => Err(e),
     }
 }

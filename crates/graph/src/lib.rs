@@ -35,6 +35,10 @@
 //!   text parse entirely.
 //! * [`storage`] — the owned-or-mapped [`storage::Section`] abstraction the
 //!   CSR arrays are built on; algorithms see plain slices either way.
+//! * [`shard`] — the partitioned (version 2) `.oscg` layout: the node space
+//!   split into contiguous degree-balanced shards, each independently
+//!   checksummed and loadable under an LRU residency budget, which is what
+//!   lets graphs larger than RAM stream through the same kernels.
 //!
 //! ```
 //! use osn_graph::{GraphBuilder, NodeId};
@@ -58,6 +62,7 @@ pub mod ids;
 pub mod io;
 pub mod node_data;
 pub mod prob_index;
+pub mod shard;
 pub mod shortest_path;
 pub mod stats;
 pub mod storage;
@@ -69,3 +74,4 @@ pub use error::GraphError;
 pub use ids::NodeId;
 pub use node_data::NodeData;
 pub use prob_index::{ProbBucket, ProbBucketIndex};
+pub use shard::{ForwardShards, FwdSlice, ShardPlan, ShardedOscg};

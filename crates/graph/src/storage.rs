@@ -56,6 +56,7 @@ mod sys {
 
     pub const PROT_READ: c_int = 1;
     pub const MAP_PRIVATE: c_int = 2;
+    pub const MADV_DONTNEED: c_int = 4;
 
     extern "C" {
         pub fn mmap(
@@ -67,6 +68,7 @@ mod sys {
             offset: i64,
         ) -> *mut c_void;
         pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+        pub fn madvise(addr: *mut c_void, len: usize, advice: c_int) -> c_int;
     }
 }
 
@@ -114,6 +116,36 @@ impl MappedFile {
     #[inline]
     pub fn bytes(&self) -> &[u8] {
         unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    /// Tell the kernel the byte window `offset..offset + len` will not be
+    /// needed soon (`madvise(MADV_DONTNEED)`), dropping its resident pages.
+    ///
+    /// Best-effort residency control for the shard LRU: the mapping is a
+    /// clean read-only file map, so dropped pages simply refault from the
+    /// file on the next access — contents are never affected. The window is
+    /// rounded inward to page boundaries; a failed or unsupported call is a
+    /// no-op.
+    pub fn advise_dont_need(&self, offset: usize, len: usize) {
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        {
+            const PAGE: usize = 4096;
+            let start = offset.next_multiple_of(PAGE);
+            let end = offset.saturating_add(len).min(self.len) & !(PAGE - 1);
+            if end > start {
+                unsafe {
+                    sys::madvise(
+                        self.ptr.add(start) as *mut std::os::raw::c_void,
+                        end - start,
+                        sys::MADV_DONTNEED,
+                    );
+                }
+            }
+        }
+        #[cfg(not(all(unix, target_pointer_width = "64")))]
+        {
+            let _ = (offset, len);
+        }
     }
 }
 
@@ -168,6 +200,30 @@ impl<T: Pod> Section<T> {
     /// True when backed by a memory map rather than owned storage.
     pub fn is_mapped(&self) -> bool {
         matches!(self, Section::Mapped { .. })
+    }
+
+    /// Wrap a window of `file` as the typed section `section`, validating
+    /// bounds **and alignment** of the mapped offset for `T`.
+    ///
+    /// This is the checked entry point every binary reader goes through: a
+    /// hand-edited or foreign file whose section offset is not a multiple of
+    /// `align_of::<T>()` yields a typed
+    /// [`GraphError::CorruptSection`](crate::error::GraphError) instead of a
+    /// misaligned deref.
+    pub fn map(
+        file: Arc<MappedFile>,
+        offset: usize,
+        len: usize,
+        section: &'static str,
+    ) -> Result<Self, crate::error::GraphError> {
+        Self::mapped(file, offset, len).ok_or(crate::error::GraphError::CorruptSection {
+            section,
+            detail: format!(
+                "mapped window (offset {offset}, {len} x {}B) is out of bounds or \
+                 misaligned for the element type",
+                std::mem::size_of::<T>()
+            ),
+        })
     }
 }
 

@@ -48,7 +48,7 @@
 //! determinism contract (fixed part grouping, part-order merge) unchanged.
 
 use crate::bits::WordSet;
-use osn_graph::{CsrGraph, NodeData, NodeId};
+use osn_graph::{CsrGraph, NodeData, NodeId, ShardPlan};
 
 /// Worlds per lane block: one bit lane per world in a `u64` mask. Two
 /// aligned [`PART_WORLDS`](crate::monte_carlo::PART_WORLDS)-world
@@ -70,7 +70,11 @@ pub struct LaneBlock {
     /// Populated-lane mask: all-ones for a full block, the low `count`
     /// bits for a ragged tail.
     pub valid: u64,
-    /// Per-node entry ranges (`node_count + 1` offsets).
+    /// First node covered by this block (0 for whole-graph blocks; a
+    /// shard's `node_start` for shard-local blocks).
+    node_start: u32,
+    /// Per-node entry ranges (`covered nodes + 1` offsets, indexed by
+    /// `u - node_start`).
     node_off: Vec<u32>,
     /// Lane masks of the union-live edges, edge-rank order per node.
     masks: Vec<u64>,
@@ -84,15 +88,29 @@ impl LaneBlock {
     /// [`WorldCache::world_fill_lanes`](crate::world::WorldCache::world_fill_lanes))
     /// into the union live adjacency.
     pub fn from_edge_masks(graph: &CsrGraph, lane_live: &[u64], valid: u64) -> Self {
+        Self::from_edge_masks_range(graph, lane_live, valid, 0..graph.node_count() as u32)
+    }
+
+    /// [`from_edge_masks`](Self::from_edge_masks) restricted to the nodes
+    /// in `nodes` — the shard-local compaction: the block holds only those
+    /// nodes' union-live out-edges, and row lookups subtract
+    /// `nodes.start`. `lane_live` still spans the full edge space (lane
+    /// masks are indexed by global edge id).
+    pub fn from_edge_masks_range(
+        graph: &CsrGraph,
+        lane_live: &[u64],
+        valid: u64,
+        nodes: std::ops::Range<u32>,
+    ) -> Self {
         debug_assert_eq!(lane_live.len(), graph.edge_count());
-        let n = graph.node_count();
+        debug_assert!(nodes.end as usize <= graph.node_count());
         let flat = graph.edge_targets_flat();
-        let mut node_off = Vec::with_capacity(n + 1);
+        let mut node_off = Vec::with_capacity(nodes.len() + 1);
         let mut masks = Vec::new();
         let mut targets = Vec::new();
         node_off.push(0u32);
-        for u in 0..n {
-            let ids = graph.out_edge_ids(NodeId(u as u32));
+        for u in nodes.clone() {
+            let ids = graph.out_edge_ids(NodeId(u));
             for e in ids.start as usize..ids.end as usize {
                 let mask = lane_live[e];
                 if mask != 0 {
@@ -104,6 +122,7 @@ impl LaneBlock {
         }
         LaneBlock {
             valid,
+            node_start: nodes.start,
             node_off,
             masks,
             targets,
@@ -252,6 +271,95 @@ fn credit(out: &mut LaneOutcome, benefit: f64, sc: Option<f64>, newly: u64) {
     }
 }
 
+/// Expand one frontier node `u` (source lanes `src`) through `block`'s
+/// union live adjacency — the shared inner step of the whole-graph and
+/// sharded lane drivers. `block` must cover `u` (`node_start` is
+/// subtracted for the row lookup). Returns the lanes newly activated by
+/// this expansion, for the caller to fold into its round mask.
+#[inline]
+fn expand_node(
+    data: &NodeData,
+    coupons: &[u32],
+    block: &LaneBlock,
+    u: NodeId,
+    src: u64,
+    scratch: &mut LaneScratch,
+    out: &mut LaneOutcome,
+) -> u64 {
+    let mut round_newly = 0u64;
+    let round_newly = &mut round_newly;
+    let k = coupons[u.index()];
+    if k == 0 {
+        return 0;
+    }
+    let lu = (u.0 - block.node_start) as usize;
+    let (lo, hi) = (block.node_off[lu] as usize, block.node_off[lu + 1] as usize);
+    let live = &block.masks[lo..hi];
+    let tgts = &block.targets[lo..hi];
+    if k as usize >= live.len() {
+        // The budget can never bind (per-lane redemptions cannot
+        // exceed the union live out-degree): no counter needed,
+        // every source lane attempts every live out-edge.
+        for (&mask, &t) in live.iter().zip(tgts) {
+            let attempt = mask & src;
+            if attempt == 0 {
+                continue;
+            }
+            let v = NodeId(t);
+            let vi = v.index();
+            scratch.touch(vi);
+            let newly = attempt & !scratch.active[vi];
+            if newly != 0 {
+                scratch.activate(vi, newly);
+                *round_newly |= newly;
+                credit(out, data.benefit(v), Some(data.sc_cost(v)), newly);
+            }
+        }
+    } else {
+        // Per-lane coupon counters as bit planes: plane `p` holds
+        // bit `p` of each source lane's remaining budget. A lane
+        // leaves `has` exactly when its counter hits zero — the
+        // scalar kernel's `remaining > 0` stop, 64 lanes at a time.
+        let mut has = src;
+        let planes_n = (32 - k.leading_zeros()) as usize;
+        let mut planes = [0u64; 32];
+        for (p, plane) in planes.iter_mut().enumerate().take(planes_n) {
+            if (k >> p) & 1 == 1 {
+                *plane = src;
+            }
+        }
+        for (&mask, &t) in live.iter().zip(tgts) {
+            let attempt = mask & has;
+            if attempt == 0 {
+                continue;
+            }
+            let v = NodeId(t);
+            let vi = v.index();
+            scratch.touch(vi);
+            let newly = attempt & !scratch.active[vi];
+            if newly != 0 {
+                scratch.activate(vi, newly);
+                *round_newly |= newly;
+                credit(out, data.benefit(v), Some(data.sc_cost(v)), newly);
+                // Ripple-borrow decrement of the redeeming lanes.
+                let mut borrow = newly;
+                let mut alive = 0u64;
+                for plane in planes.iter_mut().take(planes_n) {
+                    let t = *plane;
+                    *plane = t ^ borrow;
+                    borrow &= !t;
+                    alive |= *plane;
+                }
+                has &= alive;
+                if has == 0 {
+                    break;
+                }
+            }
+        }
+    }
+    *round_newly
+}
+
 /// Run the deterministic cascade of one lane block over its compacted
 /// union live adjacency. Skipping edges dead in every lane cannot change
 /// any outcome (their attempt mask is always zero), so per-lane results
@@ -266,6 +374,7 @@ pub fn lane_cascade_block(
     scratch: &mut LaneScratch,
 ) -> LaneOutcome {
     debug_assert_eq!(coupons.len(), graph.node_count());
+    debug_assert_eq!(block.node_start, 0);
     debug_assert_eq!(block.node_off.len(), graph.node_count() + 1);
     let valid = block.valid;
     let mut out = LaneOutcome::default();
@@ -295,78 +404,7 @@ pub fn lane_cascade_block(
         let mut round_newly = 0u64;
         let frontier = std::mem::take(&mut scratch.frontier);
         for &(u, src) in &frontier {
-            let u = NodeId(u);
-            let k = coupons[u.index()];
-            if k == 0 {
-                continue;
-            }
-            let (lo, hi) = (
-                block.node_off[u.index()] as usize,
-                block.node_off[u.index() + 1] as usize,
-            );
-            let live = &block.masks[lo..hi];
-            let tgts = &block.targets[lo..hi];
-            if k as usize >= live.len() {
-                // The budget can never bind (per-lane redemptions cannot
-                // exceed the union live out-degree): no counter needed,
-                // every source lane attempts every live out-edge.
-                for (&mask, &t) in live.iter().zip(tgts) {
-                    let attempt = mask & src;
-                    if attempt == 0 {
-                        continue;
-                    }
-                    let v = NodeId(t);
-                    let vi = v.index();
-                    scratch.touch(vi);
-                    let newly = attempt & !scratch.active[vi];
-                    if newly != 0 {
-                        scratch.activate(vi, newly);
-                        round_newly |= newly;
-                        credit(&mut out, data.benefit(v), Some(data.sc_cost(v)), newly);
-                    }
-                }
-            } else {
-                // Per-lane coupon counters as bit planes: plane `p` holds
-                // bit `p` of each source lane's remaining budget. A lane
-                // leaves `has` exactly when its counter hits zero — the
-                // scalar kernel's `remaining > 0` stop, 64 lanes at a time.
-                let mut has = src;
-                let planes_n = (32 - k.leading_zeros()) as usize;
-                let mut planes = [0u64; 32];
-                for (p, plane) in planes.iter_mut().enumerate().take(planes_n) {
-                    if (k >> p) & 1 == 1 {
-                        *plane = src;
-                    }
-                }
-                for (&mask, &t) in live.iter().zip(tgts) {
-                    let attempt = mask & has;
-                    if attempt == 0 {
-                        continue;
-                    }
-                    let v = NodeId(t);
-                    let vi = v.index();
-                    scratch.touch(vi);
-                    let newly = attempt & !scratch.active[vi];
-                    if newly != 0 {
-                        scratch.activate(vi, newly);
-                        round_newly |= newly;
-                        credit(&mut out, data.benefit(v), Some(data.sc_cost(v)), newly);
-                        // Ripple-borrow decrement of the redeeming lanes.
-                        let mut borrow = newly;
-                        let mut alive = 0u64;
-                        for plane in planes.iter_mut().take(planes_n) {
-                            let t = *plane;
-                            *plane = t ^ borrow;
-                            borrow &= !t;
-                            alive |= *plane;
-                        }
-                        has &= alive;
-                        if has == 0 {
-                            break;
-                        }
-                    }
-                }
-            }
+            round_newly |= expand_node(data, coupons, block, NodeId(u), src, scratch, &mut out);
         }
         if round_newly != 0 {
             let mut m = round_newly;
@@ -377,6 +415,87 @@ pub fn lane_cascade_block(
             }
         }
         // Hand the spent allocation back, then refill from the queue.
+        let mut spent = frontier;
+        spent.clear();
+        scratch.frontier = spent;
+        scratch.drain_frontier();
+    }
+    out
+}
+
+/// [`lane_cascade_block`] under a shard schedule: `blocks[s]` is the
+/// shard-local compaction of shard `s`'s nodes
+/// ([`LaneBlock::from_edge_masks_range`] over `plan.node_range(s)`), and
+/// each round's frontier is split at shard boundaries and expanded in
+/// ascending shard id.
+///
+/// The frontier is already ascending and shards are contiguous ascending
+/// node ranges, so the segment walk visits the exact nodes in the exact
+/// order of the whole-graph kernel — per-lane results stay bitwise equal
+/// to the scalar cascade of each world (the same argument as
+/// [`world_cascade_shards`](crate::reach::world_cascade_shards), lifted to
+/// 64 lanes at a time).
+pub fn lane_cascade_shards(
+    data: &NodeData,
+    seeds: &[NodeId],
+    coupons: &[u32],
+    blocks: &[LaneBlock],
+    plan: &ShardPlan,
+    scratch: &mut LaneScratch,
+) -> LaneOutcome {
+    debug_assert_eq!(coupons.len(), plan.node_count() as usize);
+    debug_assert_eq!(blocks.len(), plan.shard_count());
+    debug_assert!(blocks
+        .iter()
+        .enumerate()
+        .all(|(s, b)| b.node_start == plan.node_range(s).start
+            && b.node_off.len() == plan.node_range(s).len() + 1
+            && b.valid == blocks[0].valid));
+    let valid = match blocks.first() {
+        Some(b) => b.valid,
+        None => return LaneOutcome::default(),
+    };
+    let mut out = LaneOutcome::default();
+    if valid == 0 {
+        return out;
+    }
+    scratch.begin();
+
+    for &s in seeds {
+        let si = s.index();
+        scratch.touch(si);
+        let newly = valid & !scratch.active[si];
+        if newly != 0 {
+            scratch.activate(si, newly);
+            credit(&mut out, data.benefit(s), None, newly);
+        }
+    }
+    scratch.drain_frontier();
+
+    let mut round = 0u32;
+    while !scratch.frontier.is_empty() {
+        round += 1;
+        let mut round_newly = 0u64;
+        let frontier = std::mem::take(&mut scratch.frontier);
+        let mut i = 0;
+        while i < frontier.len() {
+            let s = plan.shard_of(frontier[i].0);
+            let seg_end = plan.node_range(s).end;
+            let j = i + frontier[i..].partition_point(|&(v, _)| v < seg_end);
+            let block = &blocks[s];
+            for &(u, src) in &frontier[i..j] {
+                round_newly |= expand_node(data, coupons, block, NodeId(u), src, scratch, &mut out);
+            }
+            i = j;
+        }
+        if round_newly != 0 {
+            let mut m = round_newly;
+            while m != 0 {
+                let l = m.trailing_zeros() as usize;
+                out.farthest_hop[l] = round;
+                m &= m - 1;
+            }
+        }
         let mut spent = frontier;
         spent.clear();
         scratch.frontier = spent;
@@ -540,5 +659,60 @@ mod tests {
         let again = lane_cascade_block(&g, &d, &[NodeId(0)], &k, &block_a, &mut scratch);
         assert_eq!(first.benefit, again.benefit);
         assert_eq!(first.activated, again.activated);
+    }
+
+    #[test]
+    fn sharded_lane_schedule_matches_whole_graph_block() {
+        // Multi-hop woven graph crossing every shard boundary; 64 distinct
+        // worlds keyed by lane index.
+        let n = 48u32;
+        let mut b = GraphBuilder::new(n as usize);
+        for v in 0..n {
+            if v + 1 < n {
+                b.add_edge(v, v + 1, 0.9).unwrap();
+            }
+            if v + 3 < n {
+                b.add_edge(v, v + 3, 0.6).unwrap();
+            }
+            if v % 5 == 0 && v + 11 < n {
+                b.add_edge(v, v + 11, 0.4).unwrap();
+            }
+        }
+        let g = b.build().unwrap();
+        let d = NodeData::uniform(n as usize, 1.0, 1.0, 1.0);
+        let m = g.edge_count();
+        let mut lanes = vec![0u64; m];
+        for (e, mask) in lanes.iter_mut().enumerate() {
+            // Deterministic per-edge lane pattern with varied liveness.
+            *mask = (e as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        }
+        let valid = !0u64;
+        let whole = LaneBlock::from_edge_masks(&g, &lanes, valid);
+        let coupons: Vec<u32> = (0..n).map(|v| v % 3).collect();
+        let seeds = [NodeId(0), NodeId(17), NodeId(40)];
+        let mut scratch = LaneScratch::new(n as usize);
+        let base = lane_cascade_block(&g, &d, &seeds, &coupons, &whole, &mut scratch);
+
+        for shards in [1usize, 2, 3, 7] {
+            let plan = osn_graph::ShardPlan::balanced(g.out_offsets(), g.in_offsets(), shards);
+            let blocks: Vec<LaneBlock> = (0..plan.shard_count())
+                .map(|s| LaneBlock::from_edge_masks_range(&g, &lanes, valid, plan.node_range(s)))
+                .collect();
+            let got = lane_cascade_shards(&d, &seeds, &coupons, &blocks, &plan, &mut scratch);
+            for l in 0..LANE_WORLDS {
+                assert_eq!(
+                    got.benefit[l].to_bits(),
+                    base.benefit[l].to_bits(),
+                    "{shards} shards lane {l} benefit"
+                );
+                assert_eq!(
+                    got.redeemed_sc_cost[l].to_bits(),
+                    base.redeemed_sc_cost[l].to_bits(),
+                    "{shards} shards lane {l} cost"
+                );
+                assert_eq!(got.activated[l], base.activated[l]);
+                assert_eq!(got.farthest_hop[l], base.farthest_hop[l]);
+            }
+        }
     }
 }

@@ -150,6 +150,35 @@
 //! batch shape, and world storage (pinned by unit tests, proptests, and a
 //! CI kernel-diff smoke; `--cascade-kernel scalar` forces the reference).
 //!
+//! ## Sharded execution and the cross-shard exchange contract
+//!
+//! Graphs carrying an [`osn_graph::ShardPlan`] (attached by the v2
+//! partitioned `.oscg` loader, or explicitly) route both kernels through a
+//! **shard-local schedule**: each BFS round's frontier is split at shard
+//! boundaries and expanded segment by segment in ascending shard id
+//! ([`reach::world_cascade_shards`], [`lane::lane_cascade_shards`]), so
+//! only one shard's forward adjacency needs to be resident at a time —
+//! the out-of-core path for graphs larger than RAM.
+//!
+//! The cross-shard frontier exchange is **bit-identical by construction**,
+//! not by tolerance. The monolithic kernels already drain each round from
+//! a word-level bitset in ascending node id; shards are contiguous
+//! ascending node ranges, so the per-shard "inboxes" of the exchange are
+//! exactly shard-aligned windows of that global next-round bitset.
+//! Draining the whole bitset once per round and walking the segments in
+//! ascending shard id therefore visits the same nodes, in the same order,
+//! taking edges in the same rank order, against world liveness bits at the
+//! same **global edge ids** (the v2 layout preserves them per shard) — so
+//! every floating-point accumulator receives the same additions in the
+//! same sequence as the monolithic kernel. Activations targeting another
+//! shard land in that shard's bitset window mid-round and are expanded in
+//! the *next* round, exactly as the monolithic BFS would. Determinism
+//! tests pin plan-on vs plan-off bitwise equality at shard counts 1/2/3/7,
+//! both kernels, both storages, and pool sizes 1/2
+//! (`monte_carlo::tests::shard_plans_do_not_change_any_estimate`), and CI
+//! byte-diffs whole experiment CSVs between sharded and monolithic graph
+//! files.
+//!
 //! **RNG-stream contract.** World `i` is always RNG stream `i` (the world
 //! index is mixed into the seed), so caches never depend on the pool size.
 //! The skip sampler consumes its per-world stream in a different order than
@@ -209,7 +238,9 @@ pub use cost::{expected_sc_cost, redemption_rate, seed_cost, total_cost};
 pub use engine::{DeltaScratch, EngineCounters, RefreshDelta, SpreadEngine};
 pub use estimator::{BenefitEstimator, McEstimator};
 pub use evaluator::{AnalyticEvaluator, BenefitEvaluator, DeploymentRef};
-pub use lane::{lane_cascade_block, LaneBlock, LaneOutcome, LaneScratch, LANE_WORLDS};
+pub use lane::{
+    lane_cascade_block, lane_cascade_shards, LaneBlock, LaneOutcome, LaneScratch, LANE_WORLDS,
+};
 pub use metrics::RedemptionReport;
 pub use monte_carlo::{
     CascadeKernel, LaneBlockStore, McBackend, MonteCarloEvaluator, SimulationStats,

@@ -48,7 +48,7 @@
 
 use crate::bits::BitVec;
 use crate::evaluator::{BenefitEvaluator, DeploymentRef};
-use crate::lane::{lane_cascade_block, LaneBlock, LaneScratch, LANE_WORLDS};
+use crate::lane::{lane_cascade_block, lane_cascade_shards, LaneBlock, LaneScratch, LANE_WORLDS};
 use crate::reach::{world_cascade, world_cascade_visit, CascadeScratch, WorldOutcome};
 use crate::world::{WorldCache, WorldRef, WorldStorage};
 use osn_graph::{CsrGraph, NodeData, NodeId};
@@ -355,8 +355,11 @@ impl<'a> MonteCarloEvaluator<'a> {
         self.lane_worlds
             .fetch_add((count * batch.len()) as u64, Ordering::Relaxed);
         // First cascade over this block decodes it; every later batch and
-        // candidate reuses the compacted adjacency.
-        let block = self.lane_blocks.slot(base / LANE_WORLDS).get_or_init(|| {
+        // candidate reuses the compacted adjacency. Graphs carrying a shard
+        // plan decode one shard-local block per shard and run the sharded
+        // schedule (bit-identical; see `lane::lane_cascade_shards`).
+        let plan = self.graph.shard_plan().filter(|p| p.shard_count() > 1);
+        let blocks = self.lane_blocks.slot(base / LANE_WORLDS).get_or_init(|| {
             let valid = if count == LANE_WORLDS {
                 !0u64
             } else {
@@ -364,7 +367,14 @@ impl<'a> MonteCarloEvaluator<'a> {
             };
             let mut lanes = vec![0u64; self.graph.edge_count()];
             self.cache.world_fill_lanes(base, count, &mut lanes);
-            LaneBlock::from_edge_masks(self.graph, &lanes, valid)
+            match plan {
+                Some(p) => (0..p.shard_count())
+                    .map(|s| {
+                        LaneBlock::from_edge_masks_range(self.graph, &lanes, valid, p.node_range(s))
+                    })
+                    .collect(),
+                None => vec![LaneBlock::from_edge_masks(self.graph, &lanes, valid)],
+            }
         });
         with_scratch(self.graph.node_count(), |ws| {
             let halves = count.div_ceil(PART_WORLDS);
@@ -373,15 +383,29 @@ impl<'a> MonteCarloEvaluator<'a> {
             for h in 0..halves {
                 out.push((first_part + h, vec![Totals::default(); batch.len()]));
             }
+            // A shared store populated by a plan-carrying evaluator holds
+            // per-shard blocks; only the whole-graph single-block form is
+            // usable without the matching plan.
+            debug_assert!(blocks.len() == 1 || plan.map(|p| p.shard_count()) == Some(blocks.len()));
             for (c, dep) in batch.iter().enumerate() {
-                let lanes = lane_cascade_block(
-                    self.graph,
-                    self.data,
-                    dep.seeds,
-                    dep.coupons,
-                    block,
-                    &mut ws.lane,
-                );
+                let lanes = match plan {
+                    Some(p) if blocks.len() == p.shard_count() => lane_cascade_shards(
+                        self.data,
+                        dep.seeds,
+                        dep.coupons,
+                        blocks,
+                        p,
+                        &mut ws.lane,
+                    ),
+                    _ => lane_cascade_block(
+                        self.graph,
+                        self.data,
+                        dep.seeds,
+                        dep.coupons,
+                        &blocks[0],
+                        &mut ws.lane,
+                    ),
+                };
                 for h in 0..halves {
                     let acc = &mut out[start + h].1[c];
                     for l in h * PART_WORLDS..((h + 1) * PART_WORLDS).min(count) {
@@ -515,12 +539,12 @@ fn lane_block_count(cache: &WorldCache) -> usize {
 /// (the default — blocks die with the evaluator) or a caller-owned
 /// [`LaneBlockStore`] shared across evaluators over the same cache.
 enum LaneBlocks<'a> {
-    Owned(Vec<OnceLock<LaneBlock>>),
+    Owned(Vec<OnceLock<Vec<LaneBlock>>>),
     Shared(&'a LaneBlockStore),
 }
 
 impl LaneBlocks<'_> {
-    fn slot(&self, i: usize) -> &OnceLock<LaneBlock> {
+    fn slot(&self, i: usize) -> &OnceLock<Vec<LaneBlock>> {
         match self {
             LaneBlocks::Owned(slots) => &slots[i],
             LaneBlocks::Shared(store) => &store.blocks[i],
@@ -534,9 +558,12 @@ impl LaneBlocks<'_> {
 /// every later evaluator over the same store reuses them — so a resident
 /// server pays each block decode once per cache lifetime, not once per
 /// request. Blocks are pure functions of `(graph, cache)`; concurrent
-/// first-builders race benignly inside `OnceLock`.
+/// first-builders race benignly inside `OnceLock`. Each slot holds the
+/// block split per shard when the graph carries a
+/// [`ShardPlan`](osn_graph::ShardPlan) (one entry per shard), or a single
+/// whole-graph block otherwise.
 pub struct LaneBlockStore {
-    blocks: Vec<OnceLock<LaneBlock>>,
+    blocks: Vec<OnceLock<Vec<LaneBlock>>>,
 }
 
 impl LaneBlockStore {
@@ -552,6 +579,7 @@ impl LaneBlockStore {
         self.blocks
             .iter()
             .filter_map(|b| b.get())
+            .flatten()
             .map(|b| b.resident_bytes())
             .sum()
     }
@@ -941,6 +969,75 @@ mod tests {
                 assert_eq!((lw, sw), (48 * 2, 0));
                 let (lw, sw) = scalar.kernel_world_counts();
                 assert_eq!((lw, sw), (0, 48 * 2));
+            }
+        }
+    }
+
+    /// A shard plan is execution layout only: evaluators over the same
+    /// graph with and without a plan (shard counts 1/2/3/7), under both
+    /// kernels, both storages, and pool sizes 1/2, produce bit-identical
+    /// statistics.
+    #[test]
+    fn shard_plans_do_not_change_any_estimate() {
+        use crate::world::WorldStorage;
+        use osn_graph::ShardPlan;
+        use std::sync::Arc;
+
+        let n = 48u32;
+        let mut b = GraphBuilder::new(n as usize);
+        for v in 0..n {
+            if v + 1 < n {
+                b.add_edge(v, v + 1, 0.6).unwrap();
+            }
+            if v + 3 < n {
+                b.add_edge(v, v + 3, 0.3).unwrap();
+            }
+            if v % 5 == 0 && v + 11 < n {
+                b.add_edge(v, v + 11, 0.2).unwrap();
+            }
+        }
+        let g = b.build().unwrap();
+        let d = NodeData::uniform(n as usize, 1.0, 1.0, 1.0);
+        let pool1 = ThreadPool::new(1);
+        let pool2 = ThreadPool::new(2);
+        let seeds_a = [NodeId(0), NodeId(17)];
+        let seeds_b = [NodeId(40)];
+        let k1: Vec<u32> = (0..n).map(|v| v % 3).collect();
+        let k2: Vec<u32> = (0..n).map(|v| (v + 1) % 2).collect();
+        let batch = [
+            DeploymentRef {
+                seeds: &seeds_a,
+                coupons: &k1,
+            },
+            DeploymentRef {
+                seeds: &seeds_b,
+                coupons: &k2,
+            },
+        ];
+        for storage in [WorldStorage::Sparse, WorldStorage::Dense] {
+            // 80 worlds: one full and one ragged lane block.
+            let cache = WorldCache::sample_with_storage(&g, 80, 13, storage, &pool1);
+            let base = MonteCarloEvaluator::with_pool(&g, &d, &cache, &pool1)
+                .with_kernel(CascadeKernel::Lane)
+                .simulate_batch(&batch);
+            for shards in [1usize, 2, 3, 7] {
+                let plan = Arc::new(ShardPlan::balanced(g.out_offsets(), g.in_offsets(), shards));
+                let sg = g.clone().with_shard_plan(Some(plan));
+                for pool in [&pool1, &pool2] {
+                    for kernel in [CascadeKernel::Lane, CascadeKernel::Scalar] {
+                        let got = MonteCarloEvaluator::with_pool(&sg, &d, &cache, pool)
+                            .with_kernel(kernel)
+                            .simulate_batch(&batch);
+                        for (b_, g_) in base.iter().zip(&got) {
+                            assert_eq!(
+                                b_.expected_benefit.to_bits(),
+                                g_.expected_benefit.to_bits(),
+                                "{storage:?} {shards} shards {kernel:?}"
+                            );
+                            assert_eq!(b_, g_, "{storage:?} {shards} shards {kernel:?}");
+                        }
+                    }
+                }
             }
         }
     }

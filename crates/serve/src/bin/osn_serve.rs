@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! osn-serve --data PATH [--addr 127.0.0.1:7171] [--pool-size N] [--max-inflight K]
+//!           [--resident-mb MB]
 //! ```
 //!
 //! Loads the dataset, binds the address, prints one `listening on …` line
@@ -21,6 +22,7 @@ fn main() {
     let mut data: Option<PathBuf> = None;
     let mut addr = "127.0.0.1:7171".to_string();
     let mut max_inflight = 32usize;
+    let mut resident_budget: Option<usize> = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let mut value = |flag: &str| {
@@ -35,6 +37,12 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| die("--max-inflight needs a positive integer"));
             }
+            "--resident-mb" => {
+                let mb: usize = value("--resident-mb")
+                    .parse()
+                    .unwrap_or_else(|_| die("--resident-mb needs a positive integer"));
+                resident_budget = Some(mb << 20);
+            }
             "--pool-size" => {
                 let n: usize = value("--pool-size")
                     .parse()
@@ -44,7 +52,7 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: osn-serve --data PATH [--addr HOST:PORT] \
-                     [--pool-size N] [--max-inflight K]"
+                     [--pool-size N] [--max-inflight K] [--resident-mb MB]"
                 );
                 return;
             }
@@ -52,7 +60,10 @@ fn main() {
         }
     }
     let data = data.unwrap_or_else(|| die("--data PATH is required"));
-    let state = Arc::new(ServeState::open(&data, max_inflight).unwrap_or_else(|e| die(&e)));
+    let state = Arc::new(
+        ServeState::open_with_budget(&data, max_inflight, resident_budget)
+            .unwrap_or_else(|e| die(&e)),
+    );
     for line in state.info_lines() {
         eprintln!("osn-serve: {line}");
     }
