@@ -665,6 +665,7 @@ pub(crate) fn decode_workload_at(
 
 /// Decode `.oscg` from any reader via the explicit-read path.
 pub fn read_oscg<R: Read>(mut reader: R) -> Result<OscgFile, GraphError> {
+    osn_fault::io_point("graph.oscg.read")?;
     let mut bytes = Vec::new();
     reader.read_to_end(&mut bytes)?;
     from_bytes(&bytes)
@@ -686,6 +687,7 @@ pub fn map_oscg(path: &Path) -> Result<Option<OscgFile>, GraphError> {
         // place would be wrong on a big-endian host.
         return Ok(None);
     }
+    osn_fault::io_point("graph.oscg.map")?;
     let file = std::fs::File::open(path)?;
     let map = match MappedFile::map(&file)? {
         Some(map) => Arc::new(map),

@@ -775,6 +775,7 @@ impl ShardedOscg {
     /// finishes, so even opening a beyond-RAM file keeps the resident set
     /// near one shard.
     pub fn open_with_budget(path: &Path, budget_bytes: Option<usize>) -> Result<Self, GraphError> {
+        osn_fault::io_point("graph.shard.open")?;
         let backing = if cfg!(target_endian = "little") {
             let file = std::fs::File::open(path)?;
             match MappedFile::map(&file)? {
@@ -1108,6 +1109,10 @@ impl ShardedOscg {
             }
             return hit;
         }
+        // Delay-only injection point: the LRU miss path has no error
+        // channel (sections were validated at open), but a chaos run can
+        // still stretch the load to surface lock-hold and deadline bugs.
+        osn_fault::point("graph.shard.load");
         let shard = Arc::new(
             self.build_shard(s)
                 .expect("shard sections were validated at open"),

@@ -3,6 +3,7 @@
 //! ```text
 //! loadgen --data PATH --serial --campaigns N [--out DIR]
 //! loadgen --addr HOST:PORT --campaigns N --threads T [--out DIR]
+//! loadgen --addr HOST:PORT --chaos --data PATH [--campaigns N] [--threads T]
 //! loadgen --addr HOST:PORT --shutdown
 //! ```
 //!
@@ -12,11 +13,21 @@
 //! reference's — `repro csvdiff A B 0` per pair is the CI check. Client
 //! mode prints a throughput/latency summary line (the heavy-traffic bench
 //! trajectory point).
+//!
+//! `--chaos` is the fault-tolerance benchmark: it drives the same campaign
+//! mix through the retrying client (jittered backoff on `BUSY`, transport
+//! drops, and panic-isolated internal errors — typically against a daemon
+//! running with an `OSN_FAULTS` plan), computes the serial in-process
+//! reference from `--data`, and demands every successful reply be
+//! **byte-identical** to it. It reports goodput and retry counts and exits
+//! nonzero on any wrong answer or exhausted retry budget: faults may cost
+//! throughput, never correctness.
 
+use s3crm_serve::client::{RetryPolicy, RetryingClient};
 use s3crm_serve::{CampaignSpec, Client, ServeState};
 use std::io::Write;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -67,6 +78,7 @@ fn main() {
     let mut data: Option<PathBuf> = None;
     let mut addr: Option<String> = None;
     let mut serial = false;
+    let mut chaos = false;
     let mut shutdown = false;
     let mut campaigns = 64usize;
     let mut threads = 16usize;
@@ -81,6 +93,7 @@ fn main() {
             "--data" => data = Some(PathBuf::from(value("--data"))),
             "--addr" => addr = Some(value("--addr")),
             "--serial" => serial = true,
+            "--chaos" => chaos = true,
             "--shutdown" => shutdown = true,
             "--campaigns" => {
                 campaigns = value("--campaigns")
@@ -97,6 +110,7 @@ fn main() {
                 println!(
                     "usage: loadgen --data PATH --serial [--campaigns N] [--out DIR]\n\
                      \x20      loadgen --addr HOST:PORT [--campaigns N] [--threads T] [--out DIR]\n\
+                     \x20      loadgen --addr HOST:PORT --chaos --data PATH [--campaigns N] [--threads T]\n\
                      \x20      loadgen --addr HOST:PORT --shutdown"
                 );
                 return;
@@ -116,6 +130,8 @@ fn main() {
             .shutdown()
             .unwrap_or_else(|e| die(&format!("shutdown: {e}")));
         println!("loadgen: daemon at {addr} acknowledged shutdown");
+    } else if chaos {
+        run_chaos(addr, data, campaigns, threads.max(1), &out);
     } else if serial {
         run_serial(data, campaigns, &out);
     } else {
@@ -139,6 +155,111 @@ fn run_serial(data: Option<PathBuf>, campaigns: usize, out: &Option<PathBuf>) {
         "loadgen: {campaigns} serial campaigns in {:.2}s",
         t0.elapsed().as_secs_f64()
     );
+}
+
+/// Chaos mode: the same campaign mix through the retrying client, against
+/// a (typically fault-injecting) daemon, verified byte-for-byte against
+/// the in-process serial reference. Prints a goodput summary and exits
+/// nonzero on any wrong answer or exhausted retry budget.
+fn run_chaos(
+    addr: Option<String>,
+    data: Option<PathBuf>,
+    campaigns: usize,
+    threads: usize,
+    out: &Option<PathBuf>,
+) {
+    use std::net::ToSocketAddrs;
+    let addr = addr.unwrap_or_else(|| die("--chaos needs --addr HOST:PORT"));
+    let data = data.unwrap_or_else(|| die("--chaos needs --data PATH for the serial reference"));
+    let sock = addr
+        .to_socket_addrs()
+        .ok()
+        .and_then(|mut a| a.next())
+        .unwrap_or_else(|| die(&format!("cannot resolve {addr}")));
+
+    // The ground truth: every campaign's deterministic reply, computed
+    // in-process with no daemon (and no faults) involved.
+    let state = ServeState::open(&data, 1).unwrap_or_else(|e| die(&e));
+    let reference: Vec<Vec<String>> = (0..campaigns)
+        .map(|i| {
+            state
+                .run_campaign(&spec_for(i))
+                .unwrap_or_else(|e| die(&format!("reference campaign {i}: {e}")))
+                .deterministic_lines()
+        })
+        .collect();
+
+    let next = AtomicUsize::new(0);
+    let latencies: Mutex<Vec<f64>> = Mutex::new(Vec::with_capacity(campaigns));
+    let failures = AtomicUsize::new(0);
+    let mismatches = AtomicUsize::new(0);
+    let retries = AtomicU64::new(0);
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let (next, latencies, failures, mismatches, retries, reference, out) = (
+                &next,
+                &latencies,
+                &failures,
+                &mismatches,
+                &retries,
+                &reference,
+                out,
+            );
+            s.spawn(move || {
+                let mut client = RetryingClient::new(sock, RetryPolicy::default(), t as u64);
+                loop {
+                    let i = next.fetch_add(1, Ordering::SeqCst);
+                    if i >= campaigns {
+                        break;
+                    }
+                    let started = Instant::now();
+                    match client.campaign(&spec_for(i)) {
+                        Ok(lines) => {
+                            let ms = started.elapsed().as_secs_f64() * 1e3;
+                            if lines == reference[i] {
+                                latencies.lock().expect("latency lock").push(ms);
+                                write_reply(out, i, &lines);
+                            } else {
+                                eprintln!("loadgen: campaign {i} diverged from the reference");
+                                mismatches.fetch_add(1, Ordering::SeqCst);
+                            }
+                        }
+                        Err(e) => {
+                            eprintln!("loadgen: campaign {i} failed after retries: {e}");
+                            failures.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                }
+                retries.fetch_add(client.retries(), Ordering::SeqCst);
+            });
+        }
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    let mut lat = latencies.into_inner().expect("latency lock");
+    lat.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let failed = failures.load(Ordering::SeqCst);
+    let wrong = mismatches.load(Ordering::SeqCst);
+    let retried = retries.load(Ordering::SeqCst);
+    let ok = lat.len();
+    if wrong > 0 {
+        eprintln!("loadgen: CHAOS FAILURE — {wrong} replies diverged from the serial reference");
+        std::process::exit(1);
+    }
+    if failed > 0 || ok == 0 {
+        eprintln!("loadgen: {failed} of {campaigns} campaigns exhausted their retry budget");
+        std::process::exit(1);
+    }
+    let pct = |p: f64| lat[((lat.len() - 1) as f64 * p).round() as usize];
+    println!(
+        "loadgen: chaos {ok}/{campaigns} campaigns over {threads} threads in {wall:.2}s — \
+         goodput {:.1} campaigns/s, {retried} retries, p50 {:.1} ms, p99 {:.1} ms, \
+         0 divergent replies",
+        ok as f64 / wall,
+        pct(0.50),
+        pct(0.99),
+    );
+    std::io::stdout().flush().ok();
 }
 
 fn run_concurrent(addr: Option<String>, campaigns: usize, threads: usize, out: &Option<PathBuf>) {

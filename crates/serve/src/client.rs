@@ -1,11 +1,19 @@
 //! Blocking client for the `osn-serve` protocol, used by `loadgen`, the
 //! integration tests, and anything else that wants to talk to the daemon
 //! without hand-rolling the framing.
+//!
+//! Two layers: [`Client`] is one raw connection (errors surface as-is);
+//! [`RetryingClient`] classifies campaign failures ([`CampaignError`]) and
+//! retries the retry-safe ones — `BUSY` shedding, transport drops, internal
+//! (panic-isolated) errors — with jittered exponential backoff and
+//! reconnection. Campaigns are idempotent (bit-deterministic per spec), so
+//! retrying a failed submission can never change a result, only recover it.
 
 use crate::spec::CampaignSpec;
 use crate::state::CampaignReply;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// One protocol connection. Requests are serial per connection; open more
 /// connections for concurrency.
@@ -82,5 +90,224 @@ impl Client {
     /// Ask the daemon to stop accepting; true on `BYE`.
     pub fn shutdown(&mut self) -> std::io::Result<bool> {
         Ok(self.request("SHUTDOWN")? == ["BYE"])
+    }
+}
+
+/// How a campaign submission failed, classified for retry decisions.
+#[derive(Clone, Debug)]
+pub enum CampaignError {
+    /// Load-shed by the admission gate; the server suggests a retry delay.
+    /// Retry-safe by construction.
+    Busy { retry_after: Duration },
+    /// The daemon is shutting down; retrying against it is pointless.
+    Draining,
+    /// A panic-isolated internal failure (`ERR internal …`). The campaign
+    /// never completed, so a retry is safe — and under fault injection,
+    /// usually succeeds.
+    Internal(String),
+    /// The server rejected the request as malformed or out of range.
+    /// Deterministic: retrying the same spec can only fail the same way.
+    Rejected(String),
+    /// The connection itself failed (reset, timeout, refused). The reply
+    /// was never observed, but campaigns are idempotent, so retry.
+    Transport(String),
+}
+
+impl CampaignError {
+    /// Classify a server-side `ERR …` message.
+    fn from_err_line(msg: &str) -> CampaignError {
+        if let Some(rest) = msg.strip_prefix("BUSY") {
+            let retry_ms = rest
+                .split_whitespace()
+                .find_map(|tok| tok.strip_prefix("retry-after-ms="))
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(50);
+            CampaignError::Busy {
+                retry_after: Duration::from_millis(retry_ms),
+            }
+        } else if msg.starts_with("draining") {
+            CampaignError::Draining
+        } else if msg.starts_with("internal") {
+            CampaignError::Internal(msg.to_string())
+        } else {
+            CampaignError::Rejected(msg.to_string())
+        }
+    }
+
+    /// Whether a retry of the same spec can succeed.
+    pub fn retryable(&self) -> bool {
+        !matches!(self, CampaignError::Rejected(_) | CampaignError::Draining)
+    }
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::Busy { retry_after } => {
+                write!(f, "busy (retry after {} ms)", retry_after.as_millis())
+            }
+            CampaignError::Draining => write!(f, "daemon draining"),
+            CampaignError::Internal(m) => write!(f, "{m}"),
+            CampaignError::Rejected(m) => write!(f, "rejected: {m}"),
+            CampaignError::Transport(m) => write!(f, "transport: {m}"),
+        }
+    }
+}
+
+/// Retry policy for [`RetryingClient`].
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Attempts before giving up (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before retry `k` (0-based) is `base * 2^k`, capped, then
+    /// jittered to 50–100% of that value.
+    pub base_backoff: Duration,
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 6,
+            base_backoff: Duration::from_millis(20),
+            max_backoff: Duration::from_secs(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered delay before 0-based retry `attempt`, honoring a
+    /// server-provided floor (the `retry-after-ms` hint). Deterministic in
+    /// `(jitter_seed, attempt)` so load tests stay reproducible.
+    pub fn backoff(&self, attempt: u32, floor: Option<Duration>, jitter_seed: u64) -> Duration {
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.max_backoff);
+        // splitmix64: cheap, seedable, and good enough to de-synchronize
+        // retry storms across concurrent clients.
+        let mut z = jitter_seed
+            .wrapping_add(attempt as u64 + 1)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let jittered = exp.mul_f64(0.5 + (z >> 11) as f64 / (1u64 << 53) as f64 * 0.5);
+        jittered.max(floor.unwrap_or(Duration::ZERO))
+    }
+}
+
+/// A reconnecting, retrying campaign client: the failure-semantics-aware
+/// layer `loadgen --chaos` drives. Keeps one connection alive across
+/// successes and rebuilds it after transport errors.
+pub struct RetryingClient {
+    addr: std::net::SocketAddr,
+    policy: RetryPolicy,
+    jitter_seed: u64,
+    conn: Option<Client>,
+    retries: u64,
+}
+
+impl RetryingClient {
+    pub fn new(addr: std::net::SocketAddr, policy: RetryPolicy, jitter_seed: u64) -> Self {
+        RetryingClient {
+            addr,
+            policy,
+            jitter_seed,
+            conn: None,
+            retries: 0,
+        }
+    }
+
+    /// Total retries performed over this client's lifetime.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    fn attempt(&mut self, spec: &CampaignSpec) -> Result<Vec<String>, CampaignError> {
+        if self.conn.is_none() {
+            self.conn = Some(
+                Client::connect(self.addr).map_err(|e| CampaignError::Transport(e.to_string()))?,
+            );
+        }
+        let conn = self.conn.as_mut().expect("connection just ensured");
+        match conn.campaign(spec) {
+            Ok(Ok(lines)) => Ok(lines),
+            Ok(Err(msg)) => Err(CampaignError::from_err_line(&msg)),
+            Err(e) => {
+                // The connection is in an unknown state; rebuild it.
+                self.conn = None;
+                Err(CampaignError::Transport(e.to_string()))
+            }
+        }
+    }
+
+    /// Run `spec`, retrying retry-safe failures under the policy. Returns
+    /// the deterministic payload lines, or the last error once attempts
+    /// are exhausted (non-retryable errors return immediately).
+    pub fn campaign(&mut self, spec: &CampaignSpec) -> Result<Vec<String>, CampaignError> {
+        let mut last = None;
+        for attempt in 0..self.policy.max_attempts {
+            match self.attempt(spec) {
+                Ok(lines) => return Ok(lines),
+                Err(e) => {
+                    if !e.retryable() || attempt + 1 == self.policy.max_attempts {
+                        return Err(e);
+                    }
+                    let floor = match &e {
+                        CampaignError::Busy { retry_after } => Some(*retry_after),
+                        _ => None,
+                    };
+                    self.retries += 1;
+                    std::thread::sleep(self.policy.backoff(attempt, floor, self.jitter_seed));
+                    last = Some(e);
+                }
+            }
+        }
+        Err(last.unwrap_or(CampaignError::Internal("no attempts made".into())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn err_lines_classify_for_retry() {
+        let busy = CampaignError::from_err_line("BUSY retry-after-ms=120");
+        assert!(matches!(
+            busy,
+            CampaignError::Busy { retry_after } if retry_after == Duration::from_millis(120)
+        ));
+        assert!(busy.retryable());
+        assert!(CampaignError::from_err_line("internal: worlds collided").retryable());
+        assert!(!CampaignError::from_err_line("draining (daemon shutting down)").retryable());
+        assert!(!CampaignError::from_err_line("unknown algorithm \"x\"").retryable());
+        assert!(CampaignError::Transport("reset".into()).retryable());
+    }
+
+    #[test]
+    fn backoff_is_deterministic_jittered_and_honors_the_floor() {
+        let policy = RetryPolicy::default();
+        let a = policy.backoff(3, None, 42);
+        let b = policy.backoff(3, None, 42);
+        assert_eq!(a, b, "same (seed, attempt) must give the same delay");
+        // Jitter keeps the delay within [50%, 100%] of the exponential step.
+        let exp = policy.base_backoff * 8;
+        assert!(
+            a >= exp / 2 && a <= exp,
+            "delay {a:?} outside [{:?}, {exp:?}]",
+            exp / 2
+        );
+        assert_ne!(
+            policy.backoff(3, None, 1),
+            policy.backoff(3, None, 2),
+            "different seeds should (here) jitter differently"
+        );
+        // A server floor dominates a smaller computed backoff.
+        let floored = policy.backoff(0, Some(Duration::from_millis(500)), 7);
+        assert!(floored >= Duration::from_millis(500));
+        // The cap holds for large attempt numbers (no overflow).
+        assert!(policy.backoff(30, None, 9) <= policy.max_backoff);
     }
 }

@@ -43,6 +43,40 @@
 //! coalesces concurrent evaluation probes against the same resident
 //! backend into single `simulate_batch` passes (batching is result-neutral
 //! because batched simulation is bit-identical to lone simulation).
+//!
+//! # Failure semantics
+//!
+//! The daemon is long-lived, so every failure mode has a defined,
+//! connection-local outcome — nothing takes the process down, wedges a
+//! peer, or changes a result:
+//!
+//! * **Panics are isolated.** `CAMPAIGN`/`PROBE` execution runs under
+//!   `catch_unwind`; a panicking request becomes a one-line
+//!   `ERR internal: …` reply. Every resource it held returns via RAII —
+//!   the admission [`admission::Permit`] releases on unwind, and a dying
+//!   batch leader's [`batcher`] reign guard bumps the group generation and
+//!   fails parked followers over with a typed error instead of a hang.
+//! * **Overload sheds, it does not queue.** A campaign that cannot get an
+//!   admission slot within the configured wait is refused with
+//!   `ERR BUSY retry-after-ms=N`; the [`client::RetryingClient`] honors
+//!   the hint with jittered exponential backoff.
+//! * **Slow or hostile peers are bounded.** Per-connection read/write
+//!   socket deadlines ([`server::ServeOptions`]) cap how long a dead peer
+//!   holds a thread, and request lines are read under a byte cap — an
+//!   oversized line is drained in constant memory and answered with
+//!   `ERR line too long` (the connection survives).
+//! * **Shutdown drains.** `SHUTDOWN` stops the accept loop, refuses new
+//!   requests with `ERR draining`, lets in-flight campaigns finish under a
+//!   deadline, then force-closes stragglers; [`server::Server::wait`]
+//!   returns a [`server::DrainReport`] instead of panicking.
+//! * **Retry cannot corrupt.** Campaigns are bit-deterministic per spec,
+//!   so a retried submission returns the byte-identical reply the original
+//!   would have — `loadgen --chaos` asserts exactly this while an
+//!   `osn-fault` plan fires injected I/O errors, delays, and panics.
+//!
+//! The injection points themselves (`serve.campaign.run`,
+//! `serve.batcher.*`, `serve.conn.*`, `graph.oscg.*`, `graph.shard.*`)
+//! compile to no-ops unless the `fault-injection` feature is on.
 
 pub mod admission;
 pub mod batcher;
@@ -51,6 +85,7 @@ pub mod server;
 pub mod spec;
 pub mod state;
 
-pub use client::Client;
+pub use client::{CampaignError, Client, RetryPolicy, RetryingClient};
+pub use server::{DrainReport, ServeOptions};
 pub use spec::{CampaignSpec, WeightChoice};
 pub use state::{CampaignReply, ServeState};

@@ -22,8 +22,16 @@ use s3crm_core::{s3ca_with_snapshot_backend, Telemetry};
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
-use std::time::Instant;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Cache locks recover from poisoning: a campaign that panics while
+/// building a variant or backend must not brick the cache for every later
+/// request (the panic itself is reported via the dispatcher's isolation;
+/// an interrupted `or_insert_with` leaves no partial entry behind).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Salt separating evaluation worlds from the worlds the IM baselines
 /// optimize on — identical to the `repro` runner's, so a campaign's final
@@ -53,8 +61,12 @@ pub struct ServeState {
     /// its `OnceLock` and share the single sampled cache.
     backends: Mutex<HashMap<String, Arc<OnceLock<Arc<McBackend>>>>>,
     admission: Admission,
+    /// How long a campaign may wait for an admission slot before being shed
+    /// with `BUSY retry-after-ms=…`.
+    admission_wait: Duration,
     batcher: ProbeBatcher,
     campaigns: AtomicU64,
+    shed: AtomicU64,
 }
 
 /// One campaign's reply, split into deterministic payload and telemetry.
@@ -145,9 +157,25 @@ impl ServeState {
             variants: Mutex::new(HashMap::new()),
             backends: Mutex::new(HashMap::new()),
             admission: Admission::new(max_inflight),
+            // Generous default: campaigns on small fixtures finish in
+            // milliseconds, so shedding only kicks in under real overload.
+            admission_wait: Duration::from_secs(30),
             batcher: ProbeBatcher::default(),
             campaigns: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
         })
+    }
+
+    /// Override how long a campaign waits for admission before being shed
+    /// (`BUSY retry-after-ms=…`). Builder-style, used at daemon startup.
+    pub fn with_admission_wait(mut self, wait: Duration) -> Self {
+        self.admission_wait = wait;
+        self
+    }
+
+    /// Campaigns shed with `BUSY` because the admission wait expired.
+    pub fn shed_campaigns(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
     }
 
     /// The resident instance for a weight choice, building (and caching)
@@ -158,7 +186,7 @@ impl ServeState {
             WeightChoice::Model(m) => *m,
         };
         let label = weights.label();
-        let mut variants = self.variants.lock().expect("variants lock");
+        let mut variants = lock(&self.variants);
         variants
             .entry(label.clone())
             .or_insert_with(|| {
@@ -209,7 +237,7 @@ impl ServeState {
     ) -> (String, Arc<McBackend>) {
         let key = Self::backend_key(variant_label, worlds, seed, storage, kernel);
         let slot = {
-            let mut backends = self.backends.lock().expect("backends lock");
+            let mut backends = lock(&self.backends);
             backends.entry(key.clone()).or_default().clone()
         };
         let backend = slot
@@ -222,11 +250,22 @@ impl ServeState {
         (key, backend)
     }
 
-    /// Run one campaign end to end. Blocks on the admission gate while the
-    /// daemon is at capacity. The reply's deterministic lines depend only
-    /// on the spec and the dataset — never on what else is in flight.
+    /// Run one campaign end to end. Waits a bounded time on the admission
+    /// gate while the daemon is at capacity, then sheds with a typed
+    /// `BUSY retry-after-ms=…` error a client can parse and retry on. The
+    /// reply's deterministic lines depend only on the spec and the dataset —
+    /// never on what else is in flight.
     pub fn run_campaign(&self, spec: &CampaignSpec) -> Result<CampaignReply, String> {
-        let _permit = self.admission.acquire();
+        let Some(_permit) = self.admission.acquire_within(self.admission_wait) else {
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            // Hint scaled to the configured wait: by then a slot has either
+            // freed up or the daemon is persistently saturated.
+            let retry_ms = self.admission_wait.as_millis().clamp(10, 2_000);
+            return Err(format!("BUSY retry-after-ms={retry_ms}"));
+        };
+        // Chaos site: fires *after* admission so injected panics exercise
+        // the permit-returns-on-unwind guarantee.
+        osn_fault::point("serve.campaign.run");
         let variant_label = spec.weights.label();
         let ds = self.variant(&spec.weights);
         let binv = ds.budget * spec.budget_mult;
@@ -273,13 +312,16 @@ impl ServeState {
             spec.world_storage,
             spec.cascade_kernel,
         );
-        let stats = self.batcher.submit(
-            &eval_key,
-            &eval_backend,
-            &ds,
-            deployment.seeds.clone(),
-            deployment.coupons.clone(),
-        );
+        let stats = self
+            .batcher
+            .submit(
+                &eval_key,
+                &eval_backend,
+                &ds,
+                deployment.seeds.clone(),
+                deployment.coupons.clone(),
+            )
+            .map_err(|e| format!("internal: {e}"))?;
         let report = RedemptionReport::from_stats(
             &ds.graph,
             &ds.data,
@@ -360,9 +402,10 @@ impl ServeState {
             spec.world_storage,
             spec.cascade_kernel,
         );
-        let stats: SimulationStats =
-            self.batcher
-                .submit(&key, &backend, &ds, spec.seeds.clone(), coupons);
+        let stats: SimulationStats = self
+            .batcher
+            .submit(&key, &backend, &ds, spec.seeds.clone(), coupons)
+            .map_err(|e| format!("internal: {e}"))?;
         let cascade = stats.cascade.unwrap_or_default();
         Ok(format!(
             "STATS benefit={} activated={} redeemed_sc_cost={} farthest_hop={}",
@@ -375,7 +418,7 @@ impl ServeState {
 
     /// `key=value` lines answering an `INFO` request.
     pub fn info_lines(&self) -> Vec<String> {
-        let backends = self.backends.lock().expect("backends lock");
+        let backends = lock(&self.backends);
         let mut resident_bytes = 0usize;
         let mut decoded_blocks = 0usize;
         let mut sampled = 0usize;
@@ -393,10 +436,7 @@ impl ServeState {
             format!("nodes={}", self.dataset.graph.node_count()),
             format!("edges={}", self.dataset.graph.edge_count()),
             format!("base_budget={}", self.dataset.budget),
-            format!(
-                "variants={}",
-                self.variants.lock().expect("variants lock").len()
-            ),
+            format!("variants={}", lock(&self.variants).len()),
             format!("backends={sampled}"),
             format!("resident_bytes={resident_bytes}"),
             format!("decoded_lane_blocks={decoded_blocks}"),
@@ -406,8 +446,10 @@ impl ServeState {
                 "campaigns_served={}",
                 self.campaigns.load(Ordering::Relaxed)
             ),
+            format!("campaigns_shed={}", self.shed.load(Ordering::Relaxed)),
             format!("probes={probes}"),
             format!("probe_batches={batches}"),
+            format!("probe_batches_failed={}", self.batcher.failed_probes()),
         ];
         if let Some(sharded) = &self.sharded {
             let (resident, bytes, loads, evictions) = sharded.residency_stats();

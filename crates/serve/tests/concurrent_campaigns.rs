@@ -105,7 +105,8 @@ fn concurrent_mixed_campaigns_match_the_serial_reference_byte_for_byte() {
         client.shutdown().expect("shutdown request"),
         "daemon did not acknowledge shutdown"
     );
-    srv.wait();
+    let report = srv.wait();
+    assert!(report.clean(), "drain was not clean: {report:?}");
 }
 
 #[test]
@@ -121,6 +122,45 @@ fn malformed_requests_get_err_replies_not_disconnects() {
     assert!(client.ping().expect("ping after errors"));
     client.shutdown().expect("shutdown");
     srv.wait();
+}
+
+#[test]
+fn multi_megabyte_request_line_is_rejected_and_the_connection_survives() {
+    use std::io::{BufRead, BufReader, Write};
+    let state = Arc::new(ServeState::open(&fixture(), 2).expect("state"));
+    let options = server::ServeOptions {
+        max_line_bytes: 64 * 1024,
+        ..server::ServeOptions::default()
+    };
+    let srv = server::spawn_with(state, "127.0.0.1:0", options).expect("bind");
+
+    // Raw socket: stream 4 MiB without a newline — far beyond the cap — to
+    // exercise the constant-memory overflow drain, then a valid request.
+    let mut stream = std::net::TcpStream::connect(srv.addr()).expect("connect");
+    let chunk = vec![b'x'; 1 << 20];
+    for _ in 0..4 {
+        stream.write_all(&chunk).expect("write oversized line");
+    }
+    stream.write_all(b"\nPING\n").expect("finish lines");
+    stream.flush().expect("flush");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read rejection");
+    assert_eq!(line.trim_end(), "ERR line too long (max 65536 bytes)");
+    line.clear();
+    reader.read_line(&mut line).expect("read ping reply");
+    assert_eq!(
+        line.trim_end(),
+        "PONG",
+        "connection must stay line-aligned and usable after an oversized line"
+    );
+    drop(reader);
+    drop(stream);
+
+    let mut client = Client::connect(srv.addr()).expect("connect");
+    client.shutdown().expect("shutdown");
+    let report = srv.wait();
+    assert!(report.clean(), "drain was not clean: {report:?}");
 }
 
 #[test]
